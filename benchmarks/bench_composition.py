@@ -1,0 +1,115 @@
+"""E12 / E13 / E14 / E16 — the compositional schemes of Sections 4.2 and 5, regenerated and timed.
+
+* the LTTA criterion (four endochronous devices, isochronous composition);
+* the producer/consumer criterion with its reported constraint ``[¬a] = [b]``;
+* sequential code generation for the three schemes (master clocks, controller,
+  concurrent threads) and their execution on the paper's input pattern.
+"""
+
+from repro.codegen.concurrent import run_concurrent
+from repro.codegen.controller import synthesize_controller
+from repro.codegen.runtime import StreamIO
+from repro.codegen.sequential import compile_process
+from repro.properties.compilable import ProcessAnalysis
+from repro.properties.composition import check_weakly_hierarchic
+
+INPUTS = {"a": [True, False, True, False], "b": [False, True, False, True]}
+EXPECTED_U = [1, 2]
+EXPECTED_V = [1, 2, 3, 5]
+
+
+def test_ltta_criterion(benchmark, paper_processes):
+    """E12: the LTTA's four devices pass the weakly hierarchic criterion."""
+    components = [
+        paper_processes["ltta_writer"],
+        paper_processes["ltta_bus_stage1"],
+        paper_processes["ltta_bus_stage2"],
+        paper_processes["ltta_reader"],
+    ]
+    verdict = benchmark(check_weakly_hierarchic, components, None, "ltta")
+    assert verdict.weakly_hierarchic()
+    assert not verdict.endochronous_composition()
+
+
+def test_producer_consumer_criterion(benchmark, paper_processes):
+    """E13/E14: the criterion on producer|consumer reports the constraint [¬a] = [b]."""
+    components = [paper_processes["pc_producer"], paper_processes["pc_consumer"]]
+    verdict = benchmark(check_weakly_hierarchic, components, None, "main")
+    assert verdict.weakly_hierarchic()
+    assert any("[¬a]" in c and "[b]" in c for c in verdict.reported_constraints)
+
+
+def test_sequential_code_generation(benchmark, paper_processes):
+    """E9/E13: generating the step functions of the paper's processes."""
+
+    def generate():
+        return (
+            compile_process(paper_processes["buffer"]),
+            compile_process(paper_processes["pc_producer"]),
+            compile_process(paper_processes["pc_consumer"]),
+            compile_process(ProcessAnalysis(paper_processes["pc_main"]), master_clocks=True),
+        )
+
+    compiled = benchmark(generate)
+    assert all(item.python_source for item in compiled)
+
+
+def test_master_clock_scheme_execution(benchmark, paper_processes):
+    """E13: Section 5.1's scheme (master clocks C_a, C_b) on the paper's input pattern."""
+    compiled = compile_process(ProcessAnalysis(paper_processes["pc_main"]), master_clocks=True)
+
+    def run():
+        compiled.reset()
+        io = StreamIO(
+            {
+                "C_a": [True] * 4,
+                "C_b": [True] * 4,
+                "a": list(INPUTS["a"]),
+                "b": list(INPUTS["b"]),
+            }
+        )
+        compiled.run(io)
+        return io
+
+    io = benchmark(run)
+    assert io.output("u") == EXPECTED_U
+    assert io.output("v") == EXPECTED_V
+
+
+def test_controller_scheme_execution(benchmark, paper_processes):
+    """E14: Section 5.2's synthesized controller on the same input pattern."""
+    producer = compile_process(paper_processes["pc_producer"])
+    consumer = compile_process(paper_processes["pc_consumer"])
+    verdict = check_weakly_hierarchic(
+        [paper_processes["pc_producer"], paper_processes["pc_consumer"]], composition_name="main"
+    )
+    controlled = synthesize_controller([producer, consumer], verdict)
+
+    def run():
+        controlled.reset()
+        io = StreamIO({name: list(values) for name, values in INPUTS.items()})
+        controlled.run(io)
+        return io
+
+    io = benchmark(run)
+    assert io.output("u") == EXPECTED_U
+    assert io.output("v") == EXPECTED_V
+
+
+def test_concurrent_scheme_execution(benchmark, paper_processes):
+    """E16: the thread + barrier variant produces the same flows."""
+    producer = compile_process(paper_processes["pc_producer"])
+    consumer = compile_process(paper_processes["pc_consumer"])
+    verdict = check_weakly_hierarchic(
+        [paper_processes["pc_producer"], paper_processes["pc_consumer"]], composition_name="main"
+    )
+    controlled = synthesize_controller([producer, consumer], verdict)
+
+    def run():
+        producer.reset()
+        consumer.reset()
+        return run_concurrent([producer, consumer], controlled.constraints, INPUTS)
+
+    outputs = benchmark(run)
+    assert outputs.get("u") == EXPECTED_U
+    assert outputs.get("v") == EXPECTED_V

@@ -1,0 +1,58 @@
+"""E11 — the cost of model checking weak endochrony (the approach the criterion avoids).
+
+Times the construction of the reaction LTS and the checking of the Section
+4.1 invariants, explicitly and symbolically (with the BDD engine standing in
+for Sigali), on the paper's two compositions.
+"""
+
+from repro.mc.symbolic import SymbolicChecker
+from repro.mc.transition import build_lts
+from repro.properties.compilable import ProcessAnalysis
+from repro.properties.weak_endochrony import check_weak_endochrony, model_check_weak_endochrony
+
+
+def test_lts_construction_filter_merge(benchmark, paper_processes):
+    lts = benchmark(build_lts, paper_processes["composition"])
+    assert lts.state_count() >= 2
+
+
+def test_lts_construction_main(benchmark, paper_processes):
+    lts = benchmark(build_lts, paper_processes["pc_main"])
+    assert lts.transition_count() >= 4
+
+
+def test_explicit_invariants_main(benchmark, paper_processes):
+    process = paper_processes["pc_main"]
+    analysis = ProcessAnalysis(process)
+    lts = build_lts(process, analysis.hierarchy)
+    report = benchmark(model_check_weak_endochrony, process, analysis, lts)
+    assert report.holds()
+
+
+def test_definition2_check_filter_merge(benchmark, paper_processes):
+    process = paper_processes["composition"]
+    lts = build_lts(process)
+    report = benchmark(check_weak_endochrony, process, lts)
+    assert report.holds()
+
+
+def test_symbolic_reachability_main(benchmark, paper_processes):
+    lts = build_lts(paper_processes["pc_main"])
+
+    def explore():
+        checker = SymbolicChecker(lts)
+        return checker.reachable_count()
+
+    count = benchmark(explore)
+    assert count == lts.state_count()
+
+
+def test_symbolic_reachability_filter_merge(benchmark, paper_processes):
+    lts = build_lts(paper_processes["composition"])
+
+    def explore():
+        checker = SymbolicChecker(lts)
+        return checker.reachable_count()
+
+    count = benchmark(explore)
+    assert count == lts.state_count()

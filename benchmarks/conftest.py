@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.normalize import normalize
+from repro.library.basic import buffer_process, filter_merge_composition, filter_process
+from repro.library.ltta import ltta_components
+from repro.library.producer_consumer import normalized_suite
+
+
+@pytest.fixture(scope="session")
+def paper_processes():
+    """The paper's processes, normalized once for the whole benchmark session."""
+    suite = {
+        "filter": normalize(filter_process()),
+        "buffer": normalize(buffer_process()),
+    }
+    suite.update(filter_merge_composition())
+    suite.update({f"pc_{k}": v for k, v in normalized_suite().items()})
+    suite.update({f"ltta_{k}": v for k, v in ltta_components().items()})
+    return suite

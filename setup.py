@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that legacy (non-PEP-517) editable installs — ``pip install -e .`` on
+machines without the ``wheel`` package — keep working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""repro — compositional design of isochronous systems.
+
+A Python reproduction of "Compositional design of isochronous systems"
+(Talpin, Ouy, Besnard, Le Guernic — DATE 2008 / INRIA RR-6227): the Signal
+language and its polychronous model of computation, the clock calculus of
+Polychrony (clock hierarchy, disjunctive form, scheduling graph), the formal
+properties of the paper (endochrony, weak endochrony, isochrony,
+non-blocking), the static *weakly hierarchic* compositional criterion of
+Definition 12 / Theorem 1, and the sequential, controlled and concurrent code
+generation schemes of Sections 3.6 and 5.
+
+Typical use::
+
+    from repro import ProcessBuilder, signal, const, analyze
+
+    builder = ProcessBuilder("filter", inputs=["y"], outputs=["x"])
+    builder.local("z")
+    builder.define("x", const(True).when(signal("y").ne(signal("z"))))
+    builder.define("z", signal("y").pre(True))
+    analysis = analyze(builder.build())
+    assert analysis.is_compilable() and analysis.is_hierarchic()
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from repro.lang.ast import ProcessDefinition
+from repro.lang.builder import (
+    ProcessBuilder,
+    SignalExpr,
+    const,
+    signal,
+    tick,
+    when_false,
+    when_true,
+)
+from repro.lang.normalize import NormalizedProcess, normalize
+from repro.lang.parser import parse_process, parse_program
+from repro.lang.printer import format_normalized_process, format_process
+from repro.lang.validate import ValidationError, validate_process
+from repro.semantics.interpreter import ABSENT, TICK, SignalInterpreter
+from repro.properties.compilable import ProcessAnalysis
+from repro.properties.endochrony import is_endochronous, is_hierarchic
+from repro.properties.weak_endochrony import check_weak_endochrony, model_check_weak_endochrony
+from repro.properties.isochrony import check_isochrony
+from repro.properties.nonblocking import is_non_blocking
+from repro.properties.composition import check_weakly_hierarchic, compose_and_check
+from repro.codegen.sequential import CompiledProcess, compile_process
+from repro.codegen.runtime import StreamIO, simulate
+from repro.codegen.controller import ControlledComposition, synthesize_controller
+from repro.codegen.concurrent import ConcurrentComposition, run_concurrent
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProcessBuilder",
+    "SignalExpr",
+    "signal",
+    "const",
+    "tick",
+    "when_true",
+    "when_false",
+    "ProcessDefinition",
+    "NormalizedProcess",
+    "normalize",
+    "parse_process",
+    "parse_program",
+    "format_process",
+    "format_normalized_process",
+    "validate_process",
+    "ValidationError",
+    "ABSENT",
+    "TICK",
+    "SignalInterpreter",
+    "ProcessAnalysis",
+    "analyze",
+    "is_endochronous",
+    "is_hierarchic",
+    "check_weak_endochrony",
+    "model_check_weak_endochrony",
+    "check_isochrony",
+    "is_non_blocking",
+    "check_weakly_hierarchic",
+    "compose_and_check",
+    "CompiledProcess",
+    "compile_process",
+    "StreamIO",
+    "simulate",
+    "ControlledComposition",
+    "synthesize_controller",
+    "ConcurrentComposition",
+    "run_concurrent",
+]
+
+
+def analyze(
+    process: Union[ProcessDefinition, NormalizedProcess],
+    registry: Optional[Mapping[str, ProcessDefinition]] = None,
+) -> ProcessAnalysis:
+    """Analyse a process: normalize it (if needed) and build its analysis pipeline."""
+    if isinstance(process, ProcessDefinition):
+        process = normalize(process, registry)
+    return ProcessAnalysis(process)

@@ -1,0 +1,24 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+A small, dependency-free ROBDD engine used by the clock calculus (to decide
+entailment between synchronization relations, ``R |= S``) and by the symbolic
+model checker — the role Sigali plays in the Polychrony toolset.
+"""
+
+from repro.bdd.bdd import BDD, BDDManager
+from repro.bdd.expr import BoolExpr, Var, TRUE, FALSE, And, Or, Not, Implies, Iff, Xor
+
+__all__ = [
+    "BDD",
+    "BDDManager",
+    "BoolExpr",
+    "Var",
+    "TRUE",
+    "FALSE",
+    "And",
+    "Or",
+    "Not",
+    "Implies",
+    "Iff",
+    "Xor",
+]

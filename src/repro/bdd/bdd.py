@@ -1,0 +1,483 @@
+"""A hash-consed Reduced Ordered BDD manager.
+
+The implementation follows the classical Bryant construction:
+
+* nodes are triples ``(level, low, high)`` interned in a unique table, so
+  structural equality is pointer equality;
+* boolean operations go through a memoized Shannon expansion (``apply``);
+* quantification, restriction (cofactors), substitution of variables by
+  functions (``compose``) and satisfying-assignment enumeration are provided,
+  which is all the clock calculus and the symbolic model checker need.
+
+Variables are referred to by name; their order is the order of registration
+with :meth:`BDDManager.declare` (callers that care about ordering declare
+variables explicitly up front).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+
+class BDD:
+    """A node of a reduced ordered BDD (or one of the two terminals)."""
+
+    __slots__ = ("manager", "index")
+
+    def __init__(self, manager: "BDDManager", index: int):
+        self.manager = manager
+        self.index = index
+
+    # -- structural queries -----------------------------------------------
+    def is_true(self) -> bool:
+        return self.index == BDDManager.TRUE_INDEX
+
+    def is_false(self) -> bool:
+        return self.index == BDDManager.FALSE_INDEX
+
+    def is_terminal(self) -> bool:
+        return self.index in (BDDManager.TRUE_INDEX, BDDManager.FALSE_INDEX)
+
+    @property
+    def level(self) -> int:
+        return self.manager.node_level(self.index)
+
+    @property
+    def variable(self) -> str:
+        return self.manager.level_name(self.level)
+
+    @property
+    def low(self) -> "BDD":
+        return BDD(self.manager, self.manager.node_low(self.index))
+
+    @property
+    def high(self) -> "BDD":
+        return BDD(self.manager, self.manager.node_high(self.index))
+
+    # -- boolean operations -------------------------------------------------
+    def __invert__(self) -> "BDD":
+        return self.manager.negate(self)
+
+    def __and__(self, other: "BDD") -> "BDD":
+        return self.manager.apply("and", self, other)
+
+    def __or__(self, other: "BDD") -> "BDD":
+        return self.manager.apply("or", self, other)
+
+    def __xor__(self, other: "BDD") -> "BDD":
+        return self.manager.apply("xor", self, other)
+
+    def implies(self, other: "BDD") -> "BDD":
+        return self.manager.apply("implies", self, other)
+
+    def iff(self, other: "BDD") -> "BDD":
+        return self.manager.apply("iff", self, other)
+
+    def diff(self, other: "BDD") -> "BDD":
+        """Set difference: ``self & ~other``."""
+        return self & ~other
+
+    def ite(self, then_branch: "BDD", else_branch: "BDD") -> "BDD":
+        return self.manager.ite(self, then_branch, else_branch)
+
+    # -- quantification and substitution -------------------------------------
+    def restrict(self, assignment: Mapping[str, bool]) -> "BDD":
+        return self.manager.restrict(self, assignment)
+
+    def exists(self, variables: Iterable[str]) -> "BDD":
+        return self.manager.exists(self, variables)
+
+    def forall(self, variables: Iterable[str]) -> "BDD":
+        return self.manager.forall(self, variables)
+
+    def compose(self, substitution: Mapping[str, "BDD"]) -> "BDD":
+        return self.manager.compose(self, substitution)
+
+    def rename(self, renaming: Mapping[str, str]) -> "BDD":
+        return self.manager.rename(self, renaming)
+
+    # -- queries --------------------------------------------------------------
+    def support(self) -> FrozenSet[str]:
+        return self.manager.support(self)
+
+    def is_satisfiable(self) -> bool:
+        return not self.is_false()
+
+    def is_tautology(self) -> bool:
+        return self.is_true()
+
+    def satisfy_one(self) -> Optional[Dict[str, bool]]:
+        return self.manager.satisfy_one(self)
+
+    def satisfy_all(self, variables: Optional[Sequence[str]] = None) -> Iterator[Dict[str, bool]]:
+        return self.manager.satisfy_all(self, variables)
+
+    def count(self, variables: Optional[Sequence[str]] = None) -> int:
+        return self.manager.count(self, variables)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.manager.evaluate(self, assignment)
+
+    def node_count(self) -> int:
+        return self.manager.node_count(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BDD):
+            return NotImplemented
+        return self.manager is other.manager and self.index == other.index
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.index))
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "BDDs cannot be used as Python booleans; use is_true(), is_false() or is_satisfiable()"
+        )
+
+    def __repr__(self) -> str:
+        if self.is_true():
+            return "BDD(TRUE)"
+        if self.is_false():
+            return "BDD(FALSE)"
+        return f"BDD(var={self.variable!r}, nodes={self.node_count()})"
+
+
+class BDDManager:
+    """Owner of the unique table, the computed-table cache and the variable order."""
+
+    FALSE_INDEX = 0
+    TRUE_INDEX = 1
+
+    def __init__(self, variables: Iterable[str] = ()):
+        # nodes[i] = (level, low, high); terminals use level = a large sentinel
+        self._levels: List[int] = [2**30, 2**30]
+        self._lows: List[int] = [0, 1]
+        self._highs: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._names: List[str] = []
+        self._levels_by_name: Dict[str, int] = {}
+        for name in variables:
+            self.declare(name)
+
+    # -- variables -----------------------------------------------------------
+    def declare(self, name: str) -> int:
+        """Register a variable (idempotent) and return its level."""
+        if name not in self._levels_by_name:
+            self._levels_by_name[name] = len(self._names)
+            self._names.append(name)
+        return self._levels_by_name[name]
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(self._names)
+
+    def level_name(self, level: int) -> str:
+        return self._names[level]
+
+    def has_variable(self, name: str) -> bool:
+        return name in self._levels_by_name
+
+    # -- raw node accessors ------------------------------------------------------
+    def node_level(self, index: int) -> int:
+        return self._levels[index]
+
+    def node_low(self, index: int) -> int:
+        return self._lows[index]
+
+    def node_high(self, index: int) -> int:
+        return self._highs[index]
+
+    def size(self) -> int:
+        """Total number of interned nodes (including the two terminals)."""
+        return len(self._levels)
+
+    # -- terminals and variables --------------------------------------------------
+    @property
+    def true(self) -> BDD:
+        return BDD(self, self.TRUE_INDEX)
+
+    @property
+    def false(self) -> BDD:
+        return BDD(self, self.FALSE_INDEX)
+
+    def var(self, name: str) -> BDD:
+        level = self.declare(name)
+        return BDD(self, self._make_node(level, self.FALSE_INDEX, self.TRUE_INDEX))
+
+    def nvar(self, name: str) -> BDD:
+        level = self.declare(name)
+        return BDD(self, self._make_node(level, self.TRUE_INDEX, self.FALSE_INDEX))
+
+    def constant(self, value: bool) -> BDD:
+        return self.true if value else self.false
+
+    def _make_node(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        existing = self._unique.get(key)
+        if existing is not None:
+            return existing
+        index = len(self._levels)
+        self._levels.append(level)
+        self._lows.append(low)
+        self._highs.append(high)
+        self._unique[key] = index
+        return index
+
+    # -- apply ------------------------------------------------------------------
+    @staticmethod
+    def _terminal_op(operation: str, left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+        """Short-circuit evaluation of ``operation`` on possibly-unknown terminals."""
+        if operation == "and":
+            if left is False or right is False:
+                return False
+            if left is True and right is True:
+                return True
+        elif operation == "or":
+            if left is True or right is True:
+                return True
+            if left is False and right is False:
+                return False
+        elif operation == "xor":
+            if left is not None and right is not None:
+                return left != right
+        elif operation == "implies":
+            if left is False or right is True:
+                return True
+            if left is True and right is False:
+                return False
+        elif operation == "iff":
+            if left is not None and right is not None:
+                return left == right
+        return None
+
+    def _as_terminal(self, index: int) -> Optional[bool]:
+        if index == self.TRUE_INDEX:
+            return True
+        if index == self.FALSE_INDEX:
+            return False
+        return None
+
+    def apply(self, operation: str, left: BDD, right: BDD) -> BDD:
+        """Binary boolean operation via memoized Shannon expansion."""
+        return BDD(self, self._apply(operation, left.index, right.index))
+
+    def _apply(self, operation: str, left: int, right: int) -> int:
+        terminal = self._terminal_op(
+            operation, self._as_terminal(left), self._as_terminal(right)
+        )
+        if terminal is not None:
+            return self.TRUE_INDEX if terminal else self.FALSE_INDEX
+        if operation in ("and", "or", "xor", "iff") and left > right:
+            left, right = right, left  # commutative: canonicalize the cache key
+        key = (operation, left, right)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        left_level = self._levels[left]
+        right_level = self._levels[right]
+        level = min(left_level, right_level)
+        left_low, left_high = (
+            (self._lows[left], self._highs[left]) if left_level == level else (left, left)
+        )
+        right_low, right_high = (
+            (self._lows[right], self._highs[right]) if right_level == level else (right, right)
+        )
+        low = self._apply(operation, left_low, right_low)
+        high = self._apply(operation, left_high, right_high)
+        result = self._make_node(level, low, high)
+        self._apply_cache[key] = result
+        return result
+
+    def negate(self, node: BDD) -> BDD:
+        return BDD(self, self._apply("xor", node.index, self.TRUE_INDEX))
+
+    def ite(self, condition: BDD, then_branch: BDD, else_branch: BDD) -> BDD:
+        """If-then-else: ``(condition & then) | (~condition & else)``."""
+        key = (condition.index, then_branch.index, else_branch.index)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return BDD(self, cached)
+        result = (condition & then_branch) | (~condition & else_branch)
+        self._ite_cache[key] = result.index
+        return result
+
+    # -- restriction, quantification, substitution ---------------------------------
+    def restrict(self, node: BDD, assignment: Mapping[str, bool]) -> BDD:
+        """Cofactor: fix the given variables to constants."""
+        by_level = {
+            self._levels_by_name[name]: value
+            for name, value in assignment.items()
+            if name in self._levels_by_name
+        }
+        cache: Dict[int, int] = {}
+
+        def walk(index: int) -> int:
+            if index in (self.TRUE_INDEX, self.FALSE_INDEX):
+                return index
+            if index in cache:
+                return cache[index]
+            level = self._levels[index]
+            if level in by_level:
+                result = walk(self._highs[index] if by_level[level] else self._lows[index])
+            else:
+                result = self._make_node(level, walk(self._lows[index]), walk(self._highs[index]))
+            cache[index] = result
+            return result
+
+        return BDD(self, walk(node.index))
+
+    def exists(self, node: BDD, variables: Iterable[str]) -> BDD:
+        """Existential quantification over the given variables."""
+        result = node
+        for name in variables:
+            if name not in self._levels_by_name:
+                continue
+            low = self.restrict(result, {name: False})
+            high = self.restrict(result, {name: True})
+            result = low | high
+        return result
+
+    def forall(self, node: BDD, variables: Iterable[str]) -> BDD:
+        """Universal quantification over the given variables."""
+        result = node
+        for name in variables:
+            if name not in self._levels_by_name:
+                continue
+            low = self.restrict(result, {name: False})
+            high = self.restrict(result, {name: True})
+            result = low & high
+        return result
+
+    def compose(self, node: BDD, substitution: Mapping[str, BDD]) -> BDD:
+        """Substitute variables by boolean functions."""
+        result = node
+        for name, function in substitution.items():
+            if name not in self._levels_by_name:
+                continue
+            variable = self.var(name)
+            high = self.restrict(result, {name: True})
+            low = self.restrict(result, {name: False})
+            result = self.ite(function, high, low)
+        return result
+
+    def rename(self, node: BDD, renaming: Mapping[str, str]) -> BDD:
+        """Rename variables (target variables must not clash with remaining support)."""
+        substitution = {source: self.var(target) for source, target in renaming.items()}
+        return self.compose(node, substitution)
+
+    # -- queries -----------------------------------------------------------------
+    def support(self, node: BDD) -> FrozenSet[str]:
+        """The set of variables the function actually depends on."""
+        seen: Set[int] = set()
+        levels: Set[int] = set()
+        stack = [node.index]
+        while stack:
+            index = stack.pop()
+            if index in seen or index in (self.TRUE_INDEX, self.FALSE_INDEX):
+                continue
+            seen.add(index)
+            levels.add(self._levels[index])
+            stack.append(self._lows[index])
+            stack.append(self._highs[index])
+        return frozenset(self._names[level] for level in levels)
+
+    def node_count(self, node: BDD) -> int:
+        """Number of distinct internal nodes of the BDD rooted at ``node``."""
+        seen: Set[int] = set()
+        stack = [node.index]
+        while stack:
+            index = stack.pop()
+            if index in seen or index in (self.TRUE_INDEX, self.FALSE_INDEX):
+                continue
+            seen.add(index)
+            stack.append(self._lows[index])
+            stack.append(self._highs[index])
+        return len(seen)
+
+    def satisfy_one(self, node: BDD) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment over the support, or None if unsatisfiable."""
+        if node.is_false():
+            return None
+        assignment: Dict[str, bool] = {}
+        index = node.index
+        while index not in (self.TRUE_INDEX, self.FALSE_INDEX):
+            level = self._levels[index]
+            if self._highs[index] != self.FALSE_INDEX:
+                assignment[self._names[level]] = True
+                index = self._highs[index]
+            else:
+                assignment[self._names[level]] = False
+                index = self._lows[index]
+        return assignment
+
+    def satisfy_all(
+        self, node: BDD, variables: Optional[Sequence[str]] = None
+    ) -> Iterator[Dict[str, bool]]:
+        """All satisfying assignments, expanded over ``variables`` (default: support)."""
+        names = tuple(variables) if variables is not None else tuple(sorted(self.support(node)))
+        for bits in itertools.product((False, True), repeat=len(names)):
+            assignment = dict(zip(names, bits))
+            if self.evaluate(node, assignment):
+                yield assignment
+
+    def count(self, node: BDD, variables: Optional[Sequence[str]] = None) -> int:
+        """Number of satisfying assignments over ``variables`` (default: support)."""
+        names = tuple(variables) if variables is not None else tuple(sorted(self.support(node)))
+        missing = self.support(node) - set(names)
+        if missing:
+            raise ValueError(f"count variables must cover the support; missing {sorted(missing)}")
+        cache: Dict[Tuple[int, int], int] = {}
+        name_levels = sorted(self._levels_by_name[name] for name in names if name in self._levels_by_name)
+
+        def walk(index: int, position: int) -> int:
+            remaining = len(name_levels) - position
+            if index == self.TRUE_INDEX:
+                return 2**remaining
+            if index == self.FALSE_INDEX:
+                return 0
+            key = (index, position)
+            if key in cache:
+                return cache[key]
+            level = self._levels[index]
+            if position < len(name_levels) and name_levels[position] < level:
+                result = 2 * walk(index, position + 1)
+            else:
+                result = walk(self._lows[index], position + 1) + walk(self._highs[index], position + 1)
+            cache[key] = result
+            return result
+
+        return walk(node.index, 0)
+
+    def evaluate(self, node: BDD, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the function under a (total, over the support) assignment."""
+        index = node.index
+        while index not in (self.TRUE_INDEX, self.FALSE_INDEX):
+            name = self._names[self._levels[index]]
+            if name not in assignment:
+                raise KeyError(f"assignment is missing variable {name!r}")
+            index = self._highs[index] if assignment[name] else self._lows[index]
+        return index == self.TRUE_INDEX
+
+    # -- convenience -----------------------------------------------------------
+    def conjoin(self, nodes: Iterable[BDD]) -> BDD:
+        result = self.true
+        for node in nodes:
+            result = result & node
+        return result
+
+    def disjoin(self, nodes: Iterable[BDD]) -> BDD:
+        result = self.false
+        for node in nodes:
+            result = result | node
+        return result
+
+    def implies_check(self, antecedent: BDD, consequent: BDD) -> bool:
+        """Decide whether ``antecedent -> consequent`` is a tautology."""
+        return antecedent.implies(consequent).is_true()
+
+    def equivalent(self, left: BDD, right: BDD) -> bool:
+        return left.index == right.index

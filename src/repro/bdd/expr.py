@@ -1,0 +1,180 @@
+"""A small boolean-expression layer on top of the BDD manager.
+
+Clock relations and model-checking invariants are more naturally written as
+syntax trees before being compiled to BDDs.  :class:`BoolExpr` provides that
+layer: expressions are immutable, can be pretty-printed, evaluated directly
+on assignments, and compiled to a BDD under a given manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from repro.bdd.bdd import BDD, BDDManager
+
+
+class BoolExpr:
+    """Base class of boolean expressions."""
+
+    def variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def to_bdd(self, manager: BDDManager) -> BDD:
+        raise NotImplementedError
+
+    # operator sugar -------------------------------------------------------
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return And(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return Or(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+    def implies(self, other: "BoolExpr") -> "BoolExpr":
+        return Implies(self, other)
+
+    def iff(self, other: "BoolExpr") -> "BoolExpr":
+        return Iff(self, other)
+
+
+@dataclass(frozen=True)
+class _Constant(BoolExpr):
+    value: bool
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def to_bdd(self, manager: BDDManager) -> BDD:
+        return manager.constant(self.value)
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = _Constant(True)
+FALSE = _Constant(False)
+
+
+@dataclass(frozen=True)
+class Var(BoolExpr):
+    """A boolean variable."""
+
+    name: str
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return bool(assignment[self.name])
+
+    def to_bdd(self, manager: BDDManager) -> BDD:
+        return manager.var(self.name)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    operand: BoolExpr
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def to_bdd(self, manager: BDDManager) -> BDD:
+        return ~self.operand.to_bdd(manager)
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+
+@dataclass(frozen=True)
+class _Binary(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    _symbol = "?"
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self._symbol} {self.right!r})"
+
+
+class And(_Binary):
+    _symbol = "&"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) and self.right.evaluate(assignment)
+
+    def to_bdd(self, manager: BDDManager) -> BDD:
+        return self.left.to_bdd(manager) & self.right.to_bdd(manager)
+
+
+class Or(_Binary):
+    _symbol = "|"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) or self.right.evaluate(assignment)
+
+    def to_bdd(self, manager: BDDManager) -> BDD:
+        return self.left.to_bdd(manager) | self.right.to_bdd(manager)
+
+
+class Xor(_Binary):
+    _symbol = "^"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) != self.right.evaluate(assignment)
+
+    def to_bdd(self, manager: BDDManager) -> BDD:
+        return self.left.to_bdd(manager) ^ self.right.to_bdd(manager)
+
+
+class Implies(_Binary):
+    _symbol = "->"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return (not self.left.evaluate(assignment)) or self.right.evaluate(assignment)
+
+    def to_bdd(self, manager: BDDManager) -> BDD:
+        return self.left.to_bdd(manager).implies(self.right.to_bdd(manager))
+
+
+class Iff(_Binary):
+    _symbol = "<->"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) == self.right.evaluate(assignment)
+
+    def to_bdd(self, manager: BDDManager) -> BDD:
+        return self.left.to_bdd(manager).iff(self.right.to_bdd(manager))
+
+
+def conjunction(*expressions: BoolExpr) -> BoolExpr:
+    """The conjunction of zero or more expressions (TRUE when empty)."""
+    result: BoolExpr = TRUE
+    for expression in expressions:
+        result = expression if result is TRUE else And(result, expression)
+    return result
+
+
+def disjunction(*expressions: BoolExpr) -> BoolExpr:
+    """The disjunction of zero or more expressions (FALSE when empty)."""
+    result: BoolExpr = FALSE
+    for expression in expressions:
+        result = expression if result is FALSE else Or(result, expression)
+    return result

@@ -1,0 +1,51 @@
+"""Clock calculus: inference, algebra, hierarchy and disjunctive form.
+
+This package reproduces Section 3 of the paper: the inference system that
+associates a process with its timing relations (clock equations and
+scheduling relations), the boolean algebra in which entailment ``R |= S`` is
+decided (via BDDs), the clock hierarchy of Definition 5 with its
+well-formedness condition (Definition 6), and the disjunctive-form
+transformation of Section 3.4 that eliminates symmetric differences
+(Definition 7, "well-clocked" processes).
+"""
+
+from repro.clocks.expressions import (
+    clock_key,
+    clock_signals,
+    format_clock_expression,
+    iter_subclocks,
+    simplify_clock,
+)
+from repro.clocks.relations import (
+    Node,
+    signal_node,
+    clock_node,
+    ClockRelation,
+    SchedulingRelation,
+    TimingRelations,
+)
+from repro.clocks.inference import infer_timing_relations
+from repro.clocks.algebra import ClockAlgebra
+from repro.clocks.hierarchy import ClockHierarchy, build_hierarchy
+from repro.clocks.disjunctive import DisjunctiveFormResult, to_disjunctive_form, is_well_clocked
+
+__all__ = [
+    "clock_key",
+    "clock_signals",
+    "format_clock_expression",
+    "iter_subclocks",
+    "simplify_clock",
+    "Node",
+    "signal_node",
+    "clock_node",
+    "ClockRelation",
+    "SchedulingRelation",
+    "TimingRelations",
+    "infer_timing_relations",
+    "ClockAlgebra",
+    "ClockHierarchy",
+    "build_hierarchy",
+    "DisjunctiveFormResult",
+    "to_disjunctive_form",
+    "is_well_clocked",
+]

@@ -1,0 +1,166 @@
+"""The boolean algebra of clocks, decided with BDDs.
+
+Section 3.2 interprets timing relations in a boolean algebra: composition is
+conjunction, restriction is existential quantification, and ``R |= S`` means
+that ``S`` holds in every instant allowed by ``R``.  The encoding used here
+assigns to every signal ``x`` a *presence* variable ``p·x`` and, when ``x``
+is boolean, a *value* variable ``v·x``:
+
+* ``x^``   ↦  ``p·x``
+* ``[x]``  ↦  ``p·x ∧ v·x``
+* ``[¬x]`` ↦  ``p·x ∧ ¬v·x``
+
+so that the axioms ``x^ = [x] ∨ [¬x]`` and ``[x] ∧ [¬x] = 0`` hold by
+construction.  The timing relations of a process compile to one BDD; every
+entailment question of the analyses (clock equivalence, emptiness,
+inclusion, constraint detection) is then a BDD implication check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.bdd.bdd import BDD, BDDManager
+from repro.clocks.relations import ClockRelation, TimingRelations
+from repro.lang.ast import (
+    ClockBinary,
+    ClockEmpty,
+    ClockExpressionSyntax,
+    ClockFalse,
+    ClockOf,
+    ClockTrue,
+)
+from repro.lang.normalize import NormalizedProcess
+
+
+def presence_variable(name: str) -> str:
+    """The BDD variable standing for the presence of signal ``name``."""
+    return f"p·{name}"
+
+
+def value_variable(name: str) -> str:
+    """The BDD variable standing for the boolean value of signal ``name``."""
+    return f"v·{name}"
+
+
+class ClockAlgebra:
+    """Decision procedures over the timing relations of one (composed) process."""
+
+    def __init__(
+        self,
+        process: NormalizedProcess,
+        relations: TimingRelations,
+        manager: Optional[BDDManager] = None,
+    ):
+        self.process = process
+        self.relations = relations
+        self.manager = manager or BDDManager()
+        self._signals: Tuple[str, ...] = process.all_signals()
+        self._boolean_signals: Set[str] = set(process.boolean_signals())
+        # Declare variables in a deterministic order.  The presence and value
+        # variables of one signal are kept adjacent: clock constraints such as
+        # ``x^ = y^ ∧ [z]`` relate a signal's presence to another signal's
+        # presence *and value*, so interleaving the two families keeps the
+        # relation BDD small (placing all presences before all values makes it
+        # blow up on larger compositions).
+        for name in self._signals:
+            self.manager.declare(presence_variable(name))
+            if name in self._boolean_signals:
+                self.manager.declare(value_variable(name))
+        self._relation_bdd = self._compile_relations()
+
+    # -- encoding --------------------------------------------------------------
+    def encode(self, expression: ClockExpressionSyntax) -> BDD:
+        """Compile a clock expression into its BDD."""
+        if isinstance(expression, ClockEmpty):
+            return self.manager.false
+        if isinstance(expression, ClockOf):
+            return self.manager.var(presence_variable(expression.name))
+        if isinstance(expression, ClockTrue):
+            return self.manager.var(presence_variable(expression.name)) & self.manager.var(
+                value_variable(expression.name)
+            )
+        if isinstance(expression, ClockFalse):
+            return self.manager.var(presence_variable(expression.name)) & ~self.manager.var(
+                value_variable(expression.name)
+            )
+        if isinstance(expression, ClockBinary):
+            left = self.encode(expression.left)
+            right = self.encode(expression.right)
+            if expression.operator == "and":
+                return left & right
+            if expression.operator == "or":
+                return left | right
+            if expression.operator == "diff":
+                return left & ~right
+        raise TypeError(f"unsupported clock expression: {expression!r}")
+
+    def _compile_relations(self) -> BDD:
+        constraint = self.manager.true
+        for relation in self.relations.clock_relations:
+            constraint = constraint & self.encode(relation.left).iff(self.encode(relation.right))
+        return constraint
+
+    @property
+    def relation_bdd(self) -> BDD:
+        """The BDD of the conjunction of all clock relations."""
+        return self._relation_bdd
+
+    # -- entailment queries --------------------------------------------------
+    def satisfiable(self) -> bool:
+        """True iff the timing relations admit at least one instant."""
+        return self._relation_bdd.is_satisfiable()
+
+    def entails(self, constraint: BDD) -> bool:
+        """``R |= constraint``: the constraint holds in every instant allowed by R."""
+        return self._relation_bdd.implies(constraint).is_true()
+
+    def entails_equal(self, left: ClockExpressionSyntax, right: ClockExpressionSyntax) -> bool:
+        """``R |= left = right``."""
+        return self.entails(self.encode(left).iff(self.encode(right)))
+
+    def entails_subclock(self, left: ClockExpressionSyntax, right: ClockExpressionSyntax) -> bool:
+        """``R |= left ⊆ right``: whenever ``left`` ticks, ``right`` ticks."""
+        return self.entails(self.encode(left).implies(self.encode(right)))
+
+    def is_empty_clock(self, expression: ClockExpressionSyntax) -> bool:
+        """``R |= expression = 0``."""
+        return self.entails(~self.encode(expression))
+
+    def is_exclusive(self, left: ClockExpressionSyntax, right: ClockExpressionSyntax) -> bool:
+        """``R |= left ∧ right = 0``: the two clocks never tick together."""
+        return self.entails(~(self.encode(left) & self.encode(right)))
+
+    def clocks_equivalent_to(
+        self, expression: ClockExpressionSyntax, candidates: Iterable[ClockExpressionSyntax]
+    ) -> List[ClockExpressionSyntax]:
+        """The candidate clocks provably equal to ``expression`` under R."""
+        return [candidate for candidate in candidates if self.entails_equal(expression, candidate)]
+
+    # -- constraint reporting (Section 5.1) ----------------------------------------
+    def implied_equalities(
+        self, clocks: Iterable[ClockExpressionSyntax]
+    ) -> List[Tuple[ClockExpressionSyntax, ClockExpressionSyntax]]:
+        """All pairwise equalities between the given clocks that R entails.
+
+        This is the mechanism Polychrony uses to *report clock constraints*
+        such as ``[¬a] = [b]`` when composing the producer and the consumer;
+        the controller synthesis of Section 5.2 is built from this report.
+        """
+        clock_list = list(clocks)
+        equalities: List[Tuple[ClockExpressionSyntax, ClockExpressionSyntax]] = []
+        for index, left in enumerate(clock_list):
+            for right in clock_list[index + 1 :]:
+                if self.entails_equal(left, right):
+                    equalities.append((left, right))
+        return equalities
+
+    def project(self, keep_signals: Iterable[str]) -> BDD:
+        """Existentially quantify away every variable not about ``keep_signals``."""
+        keep = set(keep_signals)
+        to_quantify = [
+            variable
+            for variable in self.manager.variables()
+            if variable.split("·", 1)[1] not in keep
+        ]
+        return self._relation_bdd.exists(to_quantify)

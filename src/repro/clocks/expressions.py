@@ -1,0 +1,105 @@
+"""Utilities over clock expressions.
+
+Clock expressions reuse the syntax nodes of :mod:`repro.lang.ast`
+(:class:`ClockOf`, :class:`ClockTrue`, :class:`ClockFalse`,
+:class:`ClockEmpty`, :class:`ClockBinary`); this module adds the operations
+the analyses need: canonical keys for hashing, structural simplification,
+sub-expression iteration, pretty printing and signal extraction.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Tuple
+
+from repro.lang.ast import (
+    ClockBinary,
+    ClockEmpty,
+    ClockExpressionSyntax,
+    ClockFalse,
+    ClockOf,
+    ClockTrue,
+)
+
+
+def clock_key(expression: ClockExpressionSyntax) -> Tuple:
+    """A hashable structural key identifying a clock expression."""
+    if isinstance(expression, ClockOf):
+        return ("tick", expression.name)
+    if isinstance(expression, ClockTrue):
+        return ("true", expression.name)
+    if isinstance(expression, ClockFalse):
+        return ("false", expression.name)
+    if isinstance(expression, ClockEmpty):
+        return ("empty",)
+    if isinstance(expression, ClockBinary):
+        return (expression.operator, clock_key(expression.left), clock_key(expression.right))
+    raise TypeError(f"unsupported clock expression: {expression!r}")
+
+
+def clock_signals(expression: ClockExpressionSyntax) -> FrozenSet[str]:
+    """The signals mentioned by a clock expression."""
+    return expression.free_signals()
+
+
+def iter_subclocks(expression: ClockExpressionSyntax) -> Iterator[ClockExpressionSyntax]:
+    """All sub-expressions of a clock expression, including itself."""
+    yield expression
+    if isinstance(expression, ClockBinary):
+        yield from iter_subclocks(expression.left)
+        yield from iter_subclocks(expression.right)
+
+
+def contains_difference(expression: ClockExpressionSyntax) -> bool:
+    """True iff the clock expression mentions a symmetric difference ``\\``."""
+    return any(
+        isinstance(sub, ClockBinary) and sub.operator == "diff"
+        for sub in iter_subclocks(expression)
+    )
+
+
+def simplify_clock(expression: ClockExpressionSyntax) -> ClockExpressionSyntax:
+    """Purely structural simplification (idempotence, neutral elements, 0 rules)."""
+    if isinstance(expression, ClockBinary):
+        left = simplify_clock(expression.left)
+        right = simplify_clock(expression.right)
+        left_key, right_key = clock_key(left), clock_key(right)
+        if expression.operator == "and":
+            if isinstance(left, ClockEmpty) or isinstance(right, ClockEmpty):
+                return ClockEmpty()
+            if left_key == right_key:
+                return left
+        elif expression.operator == "or":
+            if isinstance(left, ClockEmpty):
+                return right
+            if isinstance(right, ClockEmpty):
+                return left
+            if left_key == right_key:
+                return left
+        elif expression.operator == "diff":
+            if isinstance(left, ClockEmpty):
+                return ClockEmpty()
+            if isinstance(right, ClockEmpty):
+                return left
+            if left_key == right_key:
+                return ClockEmpty()
+        return ClockBinary(expression.operator, left, right)
+    return expression
+
+
+def format_clock_expression(expression: ClockExpressionSyntax) -> str:
+    """Human-readable rendering using the paper's notation."""
+    if isinstance(expression, ClockOf):
+        return f"{expression.name}^"
+    if isinstance(expression, ClockTrue):
+        return f"[{expression.name}]"
+    if isinstance(expression, ClockFalse):
+        return f"[¬{expression.name}]"
+    if isinstance(expression, ClockEmpty):
+        return "0"
+    if isinstance(expression, ClockBinary):
+        symbol = {"and": "∧", "or": "∨", "diff": "\\"}[expression.operator]
+        return (
+            f"({format_clock_expression(expression.left)} {symbol} "
+            f"{format_clock_expression(expression.right)})"
+        )
+    raise TypeError(f"unsupported clock expression: {expression!r}")

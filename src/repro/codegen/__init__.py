@@ -1,0 +1,40 @@
+"""Code generation (Sections 3.6 and 5).
+
+* :mod:`repro.codegen.runtime` — simulation runtime: stream-based IO and the
+  ``main``-style iterate loop of Section 3.6;
+* :mod:`repro.codegen.sequential` — sequential code generation for
+  endochronous (hierarchic) processes: a Python step function (compiled and
+  executable) and a C-like listing mirroring the paper's figures;
+* :mod:`repro.codegen.clusters` — grouping of signals by clock class;
+* :mod:`repro.codegen.controller` — the compositional scheme of Section 5.2:
+  a synthesized controller that schedules separately compiled endochronous
+  components and enforces the reported clock constraints by rendez-vous;
+* :mod:`repro.codegen.concurrent` — the concurrent variant: one thread per
+  component, rendez-vous implemented with barriers.
+"""
+
+from repro.codegen.runtime import EndOfStream, StreamIO, RecordingIO, simulate
+from repro.codegen.sequential import CompiledProcess, CodeGenerationError, compile_process
+from repro.codegen.clusters import clock_clusters
+from repro.codegen.controller import (
+    ClockConstraintSpec,
+    ControlledComposition,
+    synthesize_controller,
+)
+from repro.codegen.concurrent import ConcurrentComposition, run_concurrent
+
+__all__ = [
+    "EndOfStream",
+    "StreamIO",
+    "RecordingIO",
+    "simulate",
+    "CompiledProcess",
+    "CodeGenerationError",
+    "compile_process",
+    "clock_clusters",
+    "ClockConstraintSpec",
+    "ControlledComposition",
+    "synthesize_controller",
+    "ConcurrentComposition",
+    "run_concurrent",
+]

@@ -1,0 +1,58 @@
+"""Clustering of signals by clock equivalence class.
+
+The sequential code of Section 3.6 is structured in blocks, one per clock
+equivalence class of the hierarchy (the buffer's three classes become the
+three blocks of ``buffer_iterate``).  :func:`clock_clusters` computes that
+grouping from a :class:`~repro.properties.compilable.ProcessAnalysis` and is
+used by the code generators to order and annotate the emitted code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.properties.compilable import ProcessAnalysis
+
+
+@dataclass
+class ClockCluster:
+    """One block of computations: the signals sharing a clock class."""
+
+    class_index: int
+    description: str
+    signals: List[str] = field(default_factory=list)
+    depth: int = 0
+
+    def __str__(self) -> str:
+        return f"[{self.description}] {{{', '.join(self.signals)}}}"
+
+
+def clock_clusters(analysis: ProcessAnalysis) -> List[ClockCluster]:
+    """The signals of the process grouped by clock class, root classes first."""
+    hierarchy = analysis.hierarchy
+    parents = hierarchy.parent_map()
+
+    def depth_of(index: int) -> int:
+        depth = 0
+        current: Optional[int] = index
+        while parents.get(current) is not None:
+            depth += 1
+            current = parents[current]
+        return depth
+
+    clusters: List[ClockCluster] = []
+    for clock_class in hierarchy.classes:
+        signals = clock_class.signal_clocks()
+        if not signals:
+            continue
+        clusters.append(
+            ClockCluster(
+                class_index=clock_class.index,
+                description=clock_class.describe(),
+                signals=signals,
+                depth=depth_of(clock_class.index),
+            )
+        )
+    clusters.sort(key=lambda cluster: (cluster.depth, cluster.class_index))
+    return clusters

@@ -1,0 +1,99 @@
+"""Simulation runtime for generated code.
+
+The generated C code of the paper reads inputs through ``r_<process>_<x>``
+functions and writes outputs through ``w_<process>_<x>``; the simulation
+``main`` iterates the transition function until an input stream is exhausted.
+This module provides the Python equivalents: stream-backed IO objects and the
+:func:`simulate` loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+class EndOfStream(Exception):
+    """Raised by :meth:`StreamIO.read` when an input stream is exhausted."""
+
+
+class StreamIO:
+    """Finite input streams and recorded output streams.
+
+    ``read`` pops the next value of an input signal (raising
+    :class:`EndOfStream` when exhausted, which makes the generated step
+    function return ``False`` exactly like the paper's simulation code);
+    ``write`` appends to the signal's output trace.
+    """
+
+    def __init__(self, inputs: Optional[Mapping[str, Sequence[object]]] = None):
+        self._inputs: Dict[str, Deque[object]] = {
+            name: deque(values) for name, values in (inputs or {}).items()
+        }
+        self.outputs: Dict[str, List[object]] = {}
+        self.reads: Dict[str, List[object]] = {}
+
+    def read(self, name: str) -> object:
+        queue = self._inputs.get(name)
+        if not queue:
+            raise EndOfStream(name)
+        value = queue.popleft()
+        self.reads.setdefault(name, []).append(value)
+        return value
+
+    def write(self, name: str, value: object) -> None:
+        self.outputs.setdefault(name, []).append(value)
+
+    def available(self, name: str) -> bool:
+        return bool(self._inputs.get(name))
+
+    def remaining(self, name: str) -> int:
+        return len(self._inputs.get(name, ()))
+
+    def exhausted(self) -> bool:
+        return all(not queue for queue in self._inputs.values())
+
+    def output(self, name: str) -> List[object]:
+        return list(self.outputs.get(name, []))
+
+
+class RecordingIO(StreamIO):
+    """A :class:`StreamIO` that also records, per step, which signals were read.
+
+    Used by the controller and the tests to compare the synchronization
+    behaviour of generated code with the interpreter oracle.
+    """
+
+    def __init__(self, inputs: Optional[Mapping[str, Sequence[object]]] = None):
+        super().__init__(inputs)
+        self.step_log: List[Dict[str, object]] = []
+        self._current: Dict[str, object] = {}
+
+    def read(self, name: str) -> object:
+        value = super().read(name)
+        self._current[name] = value
+        return value
+
+    def write(self, name: str, value: object) -> None:
+        super().write(name, value)
+        self._current[f"-> {name}"] = value
+
+    def end_step(self) -> None:
+        self.step_log.append(dict(self._current))
+        self._current = {}
+
+
+def simulate(step, io: StreamIO, max_steps: int = 1_000_000) -> int:
+    """Iterate a generated step function until it returns ``False``.
+
+    Mirrors the paper's simulation ``main``: ``while (code) code = iterate();``.
+    Returns the number of completed steps.
+    """
+    steps = 0
+    while steps < max_steps:
+        if not step(io):
+            break
+        steps += 1
+        if isinstance(io, RecordingIO):
+            io.end_step()
+    return steps

@@ -1,0 +1,560 @@
+"""Sequential code generation (Sections 3.6 and 5.1).
+
+For an endochronous (compilable and hierarchic) process, the generator emits
+a *step function*: one call computes one reaction, reading the inputs that
+the clock calculus proves are needed and writing the outputs that are
+present, exactly like the ``buffer_iterate`` transition function of the
+paper.  Two artefacts are produced from the same schedule:
+
+* executable Python source (compiled with ``exec``), used by the tests, the
+  controller of Section 5.2 and the benchmarks;
+* a C-like listing that mirrors the paper's figures, for documentation and
+  inspection.
+
+For a process whose hierarchy has several roots the generator can either
+refuse (the default — the compositional scheme of Section 5.2 should be used
+instead) or reproduce Polychrony's *current scheme* (Section 5.1): add one
+synchronized master-clock input per root (the ``C_a`` / ``C_b`` booleans of
+the paper's ``main_iterate``) and rely on the environment to drive them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.lang.ast import (
+    ClockBinary,
+    ClockEmpty,
+    ClockExpressionSyntax,
+    ClockFalse,
+    ClockOf,
+    ClockTrue,
+    Const,
+)
+from repro.lang.normalize import (
+    ClockEquation,
+    DelayEquation,
+    FunctionEquation,
+    MergeEquation,
+    NormalizedProcess,
+    SamplingEquation,
+)
+from repro.codegen.runtime import EndOfStream, StreamIO
+from repro.properties.compilable import ProcessAnalysis
+
+
+class CodeGenerationError(Exception):
+    """Raised when a process cannot be compiled by the sequential scheme."""
+
+
+Slot = Tuple[str, str]  # ("p", signal) or ("v", signal)
+
+_PYTHON_OPERATORS = {
+    "+": "({0} + {1})",
+    "-": "({0} - {1})",
+    "*": "({0} * {1})",
+    "/": "({0} / {1})",
+    "and": "({0} and {1})",
+    "or": "({0} or {1})",
+    "xor": "({0} != {1})",
+    "=": "({0} == {1})",
+    "/=": "({0} != {1})",
+    "<": "({0} < {1})",
+    "<=": "({0} <= {1})",
+    ">": "({0} > {1})",
+    ">=": "({0} >= {1})",
+}
+
+_PYTHON_UNARY = {
+    "not": "(not {0})",
+    "-": "(-{0})",
+    "id": "{0}",
+}
+
+_C_OPERATORS = {
+    "+": "({0} + {1})",
+    "-": "({0} - {1})",
+    "*": "({0} * {1})",
+    "/": "({0} / {1})",
+    "and": "({0} && {1})",
+    "or": "({0} || {1})",
+    "xor": "({0} != {1})",
+    "=": "({0} == {1})",
+    "/=": "({0} != {1})",
+    "<": "({0} < {1})",
+    "<=": "({0} <= {1})",
+    ">": "({0} > {1})",
+    ">=": "({0} >= {1})",
+}
+
+_C_UNARY = {
+    "not": "(!{0})",
+    "-": "(-{0})",
+    "id": "{0}",
+}
+
+
+def _presence_var(name: str) -> str:
+    return f"p_{name}"
+
+
+def _value_var(name: str) -> str:
+    return f"v_{name}"
+
+
+def _python_constant(value: object) -> str:
+    return repr(value)
+
+
+def _c_constant(value: object) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    return repr(value)
+
+
+@dataclass
+class _Statement:
+    """One emitted statement: target slot, Python lines, C lines, dependencies."""
+
+    slot: Slot
+    python_lines: List[str]
+    c_lines: List[str]
+    dependencies: Set[Slot] = field(default_factory=set)
+
+
+@dataclass
+class _Candidate:
+    """A candidate way of computing a presence slot."""
+
+    python_expr: str
+    c_expr: str
+    dependencies: Set[Slot]
+    origin: str
+
+
+class _Generator:
+    """Builds the statement list of the step function for one process."""
+
+    def __init__(self, analysis: ProcessAnalysis, master_clocks: bool):
+        self.analysis = analysis
+        self.process = analysis.process
+        self.master_clocks = master_clocks
+        self.master_clock_inputs: List[str] = []
+        self._root_signals: Set[str] = set()
+        self._root_of_signal: Dict[str, str] = {}
+        self._defined_by: Dict[str, object] = {}
+        for equation in self.process.equations:
+            target = equation.defined_signal()
+            if target is not None:
+                self._defined_by[target] = equation
+        self._compute_roots()
+
+    # -- roots and master clocks ---------------------------------------------------
+    def _compute_roots(self) -> None:
+        hierarchy = self.analysis.hierarchy
+        roots = hierarchy.roots()
+        if len(roots) > 1 and not self.master_clocks:
+            raise CodeGenerationError(
+                f"process {self.process.name!r} has {len(roots)} hierarchy roots; "
+                "sequential code generation requires endochrony — use the controller "
+                "scheme of Section 5.2 or enable master_clocks to reproduce the "
+                "paper's Section 5.1 scheme"
+            )
+        for root in roots:
+            signals = root.signal_clocks()
+            if not signals:
+                continue
+            representative = signals[0]
+            for name in signals:
+                self._root_signals.add(name)
+                self._root_of_signal[name] = representative
+        if len(roots) > 1:
+            self.master_clock_inputs = [
+                f"C_{root.signal_clocks()[0]}" for root in roots if root.signal_clocks()
+            ]
+
+    # -- clock expression translation --------------------------------------------------
+    def _clock_expr(self, expression: ClockExpressionSyntax) -> Tuple[str, str, Set[Slot]]:
+        """Translate a clock expression into (python, c, dependencies)."""
+        if isinstance(expression, ClockEmpty):
+            return "False", "FALSE", set()
+        if isinstance(expression, ClockOf):
+            name = expression.name
+            return _presence_var(name), f"C_{name}", {("p", name)}
+        if isinstance(expression, (ClockTrue, ClockFalse)):
+            name = expression.name
+            deps = {("p", name), ("v", name)}
+            if isinstance(expression, ClockTrue):
+                return (
+                    f"({_presence_var(name)} and {_value_var(name)})",
+                    f"(C_{name} && {name})",
+                    deps,
+                )
+            return (
+                f"({_presence_var(name)} and not {_value_var(name)})",
+                f"(C_{name} && !{name})",
+                deps,
+            )
+        if isinstance(expression, ClockBinary):
+            left_py, left_c, left_deps = self._clock_expr(expression.left)
+            right_py, right_c, right_deps = self._clock_expr(expression.right)
+            deps = left_deps | right_deps
+            if expression.operator == "and":
+                return f"({left_py} and {right_py})", f"({left_c} && {right_c})", deps
+            if expression.operator == "or":
+                return f"({left_py} or {right_py})", f"({left_c} || {right_c})", deps
+            return f"({left_py} and not {right_py})", f"({left_c} && !{right_c})", deps
+        raise CodeGenerationError(f"unsupported clock expression {expression!r}")
+
+    # -- presence candidates ----------------------------------------------------------
+    def _presence_candidates(self, name: str) -> List[_Candidate]:
+        candidates: List[_Candidate] = []
+        # 1. explicit clock relations (in disjunctive form)
+        for relation in self.analysis.disjunctive.relations.clock_relations:
+            for own, other in ((relation.left, relation.right), (relation.right, relation.left)):
+                if isinstance(own, ClockOf) and own.name == name:
+                    if name in other.free_signals():
+                        continue
+                    python_expr, c_expr, deps = self._clock_expr(other)
+                    candidates.append(_Candidate(python_expr, c_expr, deps, "clock relation"))
+        # 2. the defining equation
+        equation = self._defined_by.get(name)
+        if isinstance(equation, FunctionEquation):
+            signal_operands = [op for op in equation.operands if isinstance(op, str)]
+            if signal_operands:
+                source = signal_operands[0]
+                candidates.append(
+                    _Candidate(
+                        _presence_var(source), f"C_{source}", {("p", source)}, "synchronous operand"
+                    )
+                )
+        elif isinstance(equation, DelayEquation):
+            candidates.append(
+                _Candidate(
+                    _presence_var(equation.source),
+                    f"C_{equation.source}",
+                    {("p", equation.source)},
+                    "synchronous delay",
+                )
+            )
+        elif isinstance(equation, SamplingEquation):
+            condition = equation.condition
+            deps = {("p", condition), ("v", condition)}
+            python_expr = f"({_presence_var(condition)} and {_value_var(condition)})"
+            c_expr = f"(C_{condition} && {condition})"
+            if isinstance(equation.source, str):
+                deps.add(("p", equation.source))
+                python_expr = f"({_presence_var(equation.source)} and {python_expr})"
+                c_expr = f"(C_{equation.source} && {c_expr})"
+            candidates.append(_Candidate(python_expr, c_expr, deps, "sampling"))
+        elif isinstance(equation, MergeEquation):
+            deps = {("p", equation.preferred), ("p", equation.alternative)}
+            candidates.append(
+                _Candidate(
+                    f"({_presence_var(equation.preferred)} or {_presence_var(equation.alternative)})",
+                    f"(C_{equation.preferred} || C_{equation.alternative})",
+                    deps,
+                    "merge",
+                )
+            )
+        # 3. root activation
+        if name in self._root_signals:
+            if self.master_clocks and len(self.master_clock_inputs) > 0:
+                master = f"C_{self._root_of_signal[name]}"
+                candidates.append(
+                    _Candidate(f"bool({_value_var(master)})", master, {("v", master)}, "master clock")
+                )
+            else:
+                candidates.append(_Candidate("True", "TRUE", set(), "root activation"))
+        return candidates
+
+    # -- value statements --------------------------------------------------------------
+    def _operand_python(self, operand: Union[str, Const]) -> Tuple[str, Set[Slot]]:
+        if isinstance(operand, Const):
+            return _python_constant(operand.value), set()
+        return _value_var(operand), {("v", operand)}
+
+    def _operand_c(self, operand: Union[str, Const]) -> str:
+        if isinstance(operand, Const):
+            return _c_constant(operand.value)
+        return operand
+
+    def _value_statement(self, name: str) -> Optional[_Statement]:
+        presence = _presence_var(name)
+        value = _value_var(name)
+        equation = self._defined_by.get(name)
+        deps: Set[Slot] = {("p", name)}
+
+        if equation is None:
+            if name in self.process.inputs:
+                python_lines = [
+                    f"if {presence}:",
+                    "    try:",
+                    f"        {value} = io.read({name!r})",
+                    "    except EndOfStream:",
+                    "        return False",
+                ]
+                c_lines = [
+                    f"if (C_{name}) {{",
+                    f"  if (!r_{self.process.name}_{name}(&{name})) return FALSE;",
+                    "}",
+                ]
+                return _Statement(("v", name), python_lines, c_lines, deps)
+            return None
+
+        if isinstance(equation, FunctionEquation):
+            rendered_py: List[str] = []
+            rendered_c: List[str] = []
+            for operand in equation.operands:
+                py, operand_deps = self._operand_python(operand)
+                rendered_py.append(py)
+                rendered_c.append(self._operand_c(operand))
+                deps |= operand_deps
+            if equation.operator in _PYTHON_UNARY and len(rendered_py) == 1:
+                expr_py = _PYTHON_UNARY[equation.operator].format(rendered_py[0])
+                expr_c = _C_UNARY[equation.operator].format(rendered_c[0])
+            elif equation.operator in _PYTHON_OPERATORS and len(rendered_py) == 2:
+                expr_py = _PYTHON_OPERATORS[equation.operator].format(*rendered_py)
+                expr_c = _C_OPERATORS[equation.operator].format(*rendered_c)
+            else:
+                raise CodeGenerationError(
+                    f"unsupported operator {equation.operator!r} in equation for {name!r}"
+                )
+        elif isinstance(equation, DelayEquation):
+            expr_py = f"state[{name!r}]"
+            expr_c = name
+        elif isinstance(equation, SamplingEquation):
+            expr_py, source_deps = self._operand_python(equation.source)
+            expr_c = self._operand_c(equation.source)
+            deps |= source_deps
+        elif isinstance(equation, MergeEquation):
+            expr_py = (
+                f"({_value_var(equation.preferred)} if {_presence_var(equation.preferred)} "
+                f"else {_value_var(equation.alternative)})"
+            )
+            expr_c = f"(C_{equation.preferred} ? {equation.preferred} : {equation.alternative})"
+            deps |= {
+                ("p", equation.preferred),
+                ("v", equation.preferred),
+                ("v", equation.alternative),
+            }
+        else:
+            raise CodeGenerationError(f"unsupported equation {equation!r}")
+
+        python_lines = [f"if {presence}:", f"    {value} = {expr_py}"]
+        if isinstance(equation, DelayEquation):
+            c_lines: List[str] = []
+        else:
+            c_lines = [f"if (C_{name}) {name} = {expr_c};"]
+        return _Statement(("v", name), python_lines, c_lines, deps)
+
+    # Merge value dependencies are conditional: when the preferred operand is
+    # absent its value is not read, so the hard dependency is only on its
+    # presence.  The resolver treats conditional value dependencies as soft.
+    def _soften(self, statement: _Statement) -> Set[Slot]:
+        equation = self._defined_by.get(statement.slot[1])
+        if isinstance(equation, MergeEquation):
+            return {("v", equation.preferred), ("v", equation.alternative)}
+        return set()
+
+    # -- assembly ----------------------------------------------------------------------
+    def build_statements(self) -> List[_Statement]:
+        signals = self.process.all_signals()
+        statements: Dict[Slot, _Statement] = {}
+        candidates: Dict[Slot, List[_Candidate]] = {}
+
+        for master in self.master_clock_inputs:
+            slot = ("v", master)
+            statements[slot] = _Statement(
+                slot,
+                [
+                    "try:",
+                    f"    {_value_var(master)} = io.read({master!r})",
+                    "except EndOfStream:",
+                    "    return False",
+                ],
+                [f"if (!r_{self.process.name}_{master}(&{master})) return FALSE;"],
+                set(),
+            )
+
+        for name in signals:
+            candidates[("p", name)] = self._presence_candidates(name)
+            value_statement = self._value_statement(name)
+            if value_statement is not None:
+                statements[("v", name)] = value_statement
+
+        # Greedy resolution: repeatedly emit any slot whose dependencies are met.
+        resolved: Set[Slot] = set()
+        order: List[_Statement] = []
+        pending_presence = {("p", name) for name in signals}
+        pending_values = set(statements.keys())
+
+        def try_resolve_presence() -> bool:
+            for slot in sorted(pending_presence):
+                name = slot[1]
+                for candidate in candidates[slot]:
+                    if candidate.dependencies <= resolved:
+                        order.append(
+                            _Statement(
+                                slot,
+                                [f"{_presence_var(name)} = {candidate.python_expr}"],
+                                [f"C_{name} = {candidate.c_expr};"],
+                                set(candidate.dependencies),
+                            )
+                        )
+                        resolved.add(slot)
+                        pending_presence.discard(slot)
+                        return True
+            return False
+
+        def try_resolve_value() -> bool:
+            for slot in sorted(pending_values):
+                statement = statements[slot]
+                hard = statement.dependencies - self._soften(statement)
+                soft = statement.dependencies & self._soften(statement)
+                soft_ready = all(dependency in resolved or dependency in pending_never for dependency in soft)
+                if hard <= resolved and soft_ready:
+                    order.append(statement)
+                    resolved.add(slot)
+                    pending_values.discard(slot)
+                    return True
+            return False
+
+        # Slots that will never be produced (e.g. values of signals that are
+        # neither inputs nor defined — they can only be absent).
+        pending_never: Set[Slot] = {
+            ("v", name) for name in signals if ("v", name) not in statements
+        }
+
+        while pending_presence or pending_values:
+            if try_resolve_presence():
+                continue
+            if try_resolve_value():
+                continue
+            unresolved = sorted(pending_presence | pending_values)
+            raise CodeGenerationError(
+                f"cannot order the computations of {self.process.name!r}; "
+                f"unresolved slots: {unresolved[:8]}"
+            )
+        return order
+
+    def state_updates(self) -> Tuple[List[str], List[str], Dict[str, object]]:
+        python_lines: List[str] = []
+        c_lines: List[str] = []
+        initial: Dict[str, object] = {}
+        for equation in self.process.equations:
+            if not isinstance(equation, DelayEquation):
+                continue
+            initial[equation.target] = equation.initial
+            python_lines.append(
+                f"if {_presence_var(equation.source)}:"
+            )
+            python_lines.append(
+                f"    state[{equation.target!r}] = {_value_var(equation.source)}"
+            )
+            c_lines.append(f"if (C_{equation.source}) {equation.target} = {equation.source};")
+        return python_lines, c_lines, initial
+
+    def output_writes(self) -> Tuple[List[str], List[str]]:
+        python_lines: List[str] = []
+        c_lines: List[str] = []
+        for name in self.process.outputs:
+            python_lines.append(f"if {_presence_var(name)}:")
+            python_lines.append(f"    io.write({name!r}, {_value_var(name)})")
+            c_lines.append(f"if (C_{name}) w_{self.process.name}_{name}({name});")
+        return python_lines, c_lines
+
+
+@dataclass
+class CompiledProcess:
+    """A sequentially compiled process: executable step function plus listings."""
+
+    process: NormalizedProcess
+    python_source: str
+    c_source: str
+    initial_state: Dict[str, object]
+    master_clock_inputs: List[str] = field(default_factory=list)
+    _step_function: object = None
+    state: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Reset the delay registers to their initial values."""
+        self.state = dict(self.initial_state)
+
+    def step(self, io: StreamIO) -> bool:
+        """Execute one reaction; returns False when an input stream ends."""
+        return self._step_function(io, self.state)
+
+    def run(self, io: StreamIO, max_steps: int = 1_000_000) -> int:
+        """Iterate until the step function returns False (paper's simulation main)."""
+        steps = 0
+        while steps < max_steps and self.step(io):
+            steps += 1
+        return steps
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return tuple(self.process.inputs) + tuple(self.master_clock_inputs)
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return tuple(self.process.outputs)
+
+
+def compile_process(
+    process: Union[NormalizedProcess, ProcessAnalysis],
+    master_clocks: bool = False,
+    check_compilable: bool = True,
+) -> CompiledProcess:
+    """Generate and compile the sequential step function of a process.
+
+    ``master_clocks=True`` reproduces the *current scheme* of Section 5.1 for
+    multi-rooted processes: one boolean master-clock input ``C_<root>`` per
+    hierarchy root is added to the interface and read at every step.
+    """
+    analysis = process if isinstance(process, ProcessAnalysis) else ProcessAnalysis(process)
+    if check_compilable and not analysis.is_compilable():
+        raise CodeGenerationError(
+            f"process {analysis.process.name!r} is not compilable "
+            f"(well_clocked={analysis.is_well_clocked()}, acyclic={analysis.is_acyclic()})"
+        )
+    generator = _Generator(analysis, master_clocks)
+    statements = generator.build_statements()
+    update_py, update_c, initial_state = generator.state_updates()
+    writes_py, writes_c = generator.output_writes()
+
+    function_name = f"{analysis.process.name}_iterate"
+    python_lines: List[str] = [f"def {function_name}(io, state):"]
+    body: List[str] = []
+    for statement in statements:
+        body.extend(statement.python_lines)
+    body.extend(writes_py)
+    body.extend(update_py)
+    body.append("return True")
+    python_lines.extend(f"    {line}" for line in body)
+    python_source = "\n".join(python_lines) + "\n"
+
+    c_lines: List[str] = [f"bool {function_name}() {{"]
+    for statement in statements:
+        c_lines.extend(f"  {line}" for line in statement.c_lines)
+    c_lines.extend(f"  {line}" for line in writes_c)
+    c_lines.extend(f"  {line}" for line in update_c)
+    c_lines.append("  return TRUE;")
+    c_lines.append("}")
+    c_source = "\n".join(c_lines) + "\n"
+
+    namespace: Dict[str, object] = {"EndOfStream": EndOfStream}
+    exec(compile(python_source, f"<generated {function_name}>", "exec"), namespace)
+    compiled = CompiledProcess(
+        process=analysis.process,
+        python_source=python_source,
+        c_source=c_source,
+        initial_state=initial_state,
+        master_clock_inputs=list(generator.master_clock_inputs),
+        _step_function=namespace[function_name],
+    )
+    return compiled

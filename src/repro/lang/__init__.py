@@ -1,0 +1,84 @@
+"""Signal language front-end.
+
+This package defines the abstract syntax of the Signal subset used in the
+paper (functional equations, delay ``pre``, sampling ``when``, merge
+``default``, synchronous composition and restriction), a programmatic builder
+for constructing processes, a small textual parser, a pretty printer, the
+normalization pass that expands arbitrary signal expressions into *primitive*
+equations, and static validation of process definitions.
+"""
+
+from repro.lang.ast import (
+    Const,
+    Ref,
+    UnaryOp,
+    BinaryOp,
+    Pre,
+    When,
+    Default,
+    Cell,
+    ClockOf,
+    ClockTrue,
+    ClockFalse,
+    ClockEmpty,
+    ClockBinary,
+    Definition,
+    ClockConstraint,
+    Instantiation,
+    Composition,
+    Restriction,
+    ProcessDefinition,
+)
+from repro.lang.builder import ProcessBuilder, signal
+from repro.lang.normalize import (
+    NormalizedProcess,
+    PrimitiveEquation,
+    FunctionEquation,
+    DelayEquation,
+    SamplingEquation,
+    MergeEquation,
+    ClockEquation,
+    normalize,
+)
+from repro.lang.parser import parse_program, parse_process, ParseError
+from repro.lang.printer import format_expression, format_process
+from repro.lang.validate import validate_process, ValidationError
+
+__all__ = [
+    "Const",
+    "Ref",
+    "UnaryOp",
+    "BinaryOp",
+    "Pre",
+    "When",
+    "Default",
+    "Cell",
+    "ClockOf",
+    "ClockTrue",
+    "ClockFalse",
+    "ClockEmpty",
+    "ClockBinary",
+    "Definition",
+    "ClockConstraint",
+    "Instantiation",
+    "Composition",
+    "Restriction",
+    "ProcessDefinition",
+    "ProcessBuilder",
+    "signal",
+    "NormalizedProcess",
+    "PrimitiveEquation",
+    "FunctionEquation",
+    "DelayEquation",
+    "SamplingEquation",
+    "MergeEquation",
+    "ClockEquation",
+    "normalize",
+    "parse_program",
+    "parse_process",
+    "ParseError",
+    "format_expression",
+    "format_process",
+    "validate_process",
+    "ValidationError",
+]

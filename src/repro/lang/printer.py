@@ -1,0 +1,174 @@
+"""Pretty printing of Signal expressions, statements and processes.
+
+The output uses the ASCII rendering of Signal operators (``^`` for clocks,
+``^*`` / ``^+`` / ``^-`` for clock conjunction / disjunction / difference,
+``[x]`` and ``[not x]`` for value-sampled clocks) so that printed processes
+can be re-parsed by :mod:`repro.lang.parser`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.ast import (
+    BinaryOp,
+    Cell,
+    ClockBinary,
+    ClockConstraint,
+    ClockEmpty,
+    ClockExpressionSyntax,
+    ClockFalse,
+    ClockOf,
+    ClockTrue,
+    Composition,
+    Const,
+    Default,
+    Definition,
+    Expression,
+    Instantiation,
+    Pre,
+    ProcessDefinition,
+    Ref,
+    Restriction,
+    Statement,
+    UnaryOp,
+    When,
+)
+from repro.lang.normalize import (
+    ClockEquation,
+    DelayEquation,
+    FunctionEquation,
+    MergeEquation,
+    NormalizedProcess,
+    PrimitiveEquation,
+    SamplingEquation,
+)
+
+
+def format_constant(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return repr(value)
+
+
+def format_expression(expression: Expression) -> str:
+    """Render a signal expression as Signal-like concrete syntax."""
+    if isinstance(expression, Const):
+        return format_constant(expression.value)
+    if isinstance(expression, Ref):
+        return expression.name
+    if isinstance(expression, UnaryOp):
+        return f"({expression.operator} {format_expression(expression.operand)})"
+    if isinstance(expression, BinaryOp):
+        return (
+            f"({format_expression(expression.left)} {expression.operator} "
+            f"{format_expression(expression.right)})"
+        )
+    if isinstance(expression, Pre):
+        return f"({format_expression(expression.operand)} pre {format_constant(expression.initial)})"
+    if isinstance(expression, When):
+        return f"({format_expression(expression.operand)} when {format_expression(expression.condition)})"
+    if isinstance(expression, Default):
+        return (
+            f"({format_expression(expression.preferred)} default "
+            f"{format_expression(expression.alternative)})"
+        )
+    if isinstance(expression, Cell):
+        return (
+            f"({format_expression(expression.operand)} cell "
+            f"{format_expression(expression.condition)} init {format_constant(expression.initial)})"
+        )
+    raise TypeError(f"unsupported expression node: {expression!r}")
+
+
+def format_clock(expression: ClockExpressionSyntax) -> str:
+    """Render a clock expression."""
+    if isinstance(expression, ClockOf):
+        return f"^{expression.name}"
+    if isinstance(expression, ClockTrue):
+        return f"[{expression.name}]"
+    if isinstance(expression, ClockFalse):
+        return f"[not {expression.name}]"
+    if isinstance(expression, ClockEmpty):
+        return "^0"
+    if isinstance(expression, ClockBinary):
+        symbol = {"and": "^*", "or": "^+", "diff": "^-"}[expression.operator]
+        return f"({format_clock(expression.left)} {symbol} {format_clock(expression.right)})"
+    raise TypeError(f"unsupported clock expression node: {expression!r}")
+
+
+def format_statement(statement: Statement, indent: int = 0) -> str:
+    """Render a statement (equation, constraint, composition, restriction)."""
+    pad = "  " * indent
+    if isinstance(statement, Definition):
+        return f"{pad}{statement.target} := {format_expression(statement.expression)};"
+    if isinstance(statement, ClockConstraint):
+        return f"{pad}{' = '.join(format_clock(clock) for clock in statement.clocks)};"
+    if isinstance(statement, Instantiation):
+        outputs = ", ".join(statement.outputs)
+        arguments = ", ".join(format_expression(argument) for argument in statement.arguments)
+        left = f"({outputs})" if len(statement.outputs) != 1 else outputs
+        return f"{pad}{left} := {statement.process}({arguments});"
+    if isinstance(statement, Composition):
+        return "\n".join(format_statement(child, indent) for child in statement.statements)
+    if isinstance(statement, Restriction):
+        hidden = ", ".join(statement.hidden)
+        body = format_statement(statement.body, indent + 1)
+        return f"{pad}local {hidden};\n{body}"
+    raise TypeError(f"unsupported statement node: {statement!r}")
+
+
+def format_process(process: ProcessDefinition) -> str:
+    """Render a full process definition."""
+    inputs = ", ".join(process.inputs)
+    outputs = ", ".join(process.outputs)
+    lines: List[str] = [f"process {process.name} ({inputs}) returns ({outputs}) {{"]
+    if process.locals:
+        lines.append(f"  local {', '.join(process.locals)};")
+    body = process.body
+    if isinstance(body, Restriction) and set(body.hidden) <= set(process.locals):
+        body = body.body
+    lines.append(format_statement(body, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_primitive_equation(equation: PrimitiveEquation) -> str:
+    """Render a primitive equation of a normalized process."""
+    if isinstance(equation, FunctionEquation):
+        rendered = [
+            operand if isinstance(operand, str) else format_constant(operand.value)
+            for operand in equation.operands
+        ]
+        if equation.operator == "id":
+            return f"{equation.target} := {rendered[0]}"
+        if len(rendered) == 1:
+            return f"{equation.target} := {equation.operator} {rendered[0]}"
+        return f"{equation.target} := {rendered[0]} {equation.operator} {rendered[1]}"
+    if isinstance(equation, DelayEquation):
+        return f"{equation.target} := {equation.source} pre {format_constant(equation.initial)}"
+    if isinstance(equation, SamplingEquation):
+        source = (
+            equation.source
+            if isinstance(equation.source, str)
+            else format_constant(equation.source.value)
+        )
+        return f"{equation.target} := {source} when {equation.condition}"
+    if isinstance(equation, MergeEquation):
+        return f"{equation.target} := {equation.preferred} default {equation.alternative}"
+    if isinstance(equation, ClockEquation):
+        return f"{format_clock(equation.left)} = {format_clock(equation.right)}"
+    raise TypeError(f"unsupported primitive equation: {equation!r}")
+
+
+def format_normalized_process(process: NormalizedProcess) -> str:
+    """Render a normalized process: interface followed by its primitive equations."""
+    lines = [
+        f"process {process.name}",
+        f"  inputs:  {', '.join(process.inputs) or '(none)'}",
+        f"  outputs: {', '.join(process.outputs) or '(none)'}",
+        f"  locals:  {', '.join(process.locals) or '(none)'}",
+        "  equations:",
+    ]
+    lines.extend(f"    {format_primitive_equation(equation)}" for equation in process.equations)
+    return "\n".join(lines)

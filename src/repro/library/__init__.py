@@ -1,0 +1,56 @@
+"""The processes used in the paper, plus synthetic generators for benchmarks.
+
+* :mod:`repro.library.basic` — ``filter``, ``merge``, the one-place ``buffer``
+  (``flip`` | ``current``) of Sections 1-3;
+* :mod:`repro.library.producer_consumer` — the producer / consumer / main
+  processes of Section 5;
+* :mod:`repro.library.ltta` — the loosely time-triggered architecture of
+  Section 4.2 (writer, bus, reader);
+* :mod:`repro.library.controllers` — Signal-level controller and scheduler
+  processes in the spirit of Section 5.2;
+* :mod:`repro.library.generators` — scalable synthetic networks of
+  endochronous components used by the benchmarks.
+"""
+
+from repro.library.basic import (
+    filter_process,
+    merge_process,
+    buffer_process,
+    buffer2_process,
+    filter_merge_composition,
+)
+from repro.library.producer_consumer import (
+    producer_process,
+    consumer_process,
+    main_process,
+    main2_process,
+)
+from repro.library.ltta import writer_process, bus_process, reader_process, ltta_process
+from repro.library.controllers import rendezvous_controller_process
+from repro.library.generators import (
+    pipeline_network,
+    star_network,
+    independent_components,
+    chain_of_buffers,
+)
+
+__all__ = [
+    "filter_process",
+    "merge_process",
+    "buffer_process",
+    "buffer2_process",
+    "filter_merge_composition",
+    "producer_process",
+    "consumer_process",
+    "main_process",
+    "main2_process",
+    "writer_process",
+    "bus_process",
+    "reader_process",
+    "ltta_process",
+    "rendezvous_controller_process",
+    "pipeline_network",
+    "star_network",
+    "independent_components",
+    "chain_of_buffers",
+]

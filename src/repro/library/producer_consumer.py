@@ -1,0 +1,94 @@
+"""The producer / consumer / main processes of Section 5.
+
+The producer increments ``u`` when its input ``a`` is true and increments a
+shared counter ``x`` otherwise; the consumer adds ``x`` (or 1 when ``x`` is
+absent) to its count ``v`` at the pace of its own input ``b``.  Both are
+endochronous, but their composition is only *weakly* endochronous: the clock
+constraint ``[¬a] = [b]`` relating the two inputs has to be enforced by a
+synthesized controller (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lang.ast import ProcessDefinition
+from repro.lang.builder import ProcessBuilder, const, signal, tick, when_false, when_true
+from repro.lang.normalize import NormalizedProcess, normalize
+
+
+def producer_process(name: str = "producer") -> ProcessDefinition:
+    """``(u, x) = producer(a)``: count the true and false occurrences of ``a``.
+
+    * ``u^ = [a]``,  ``u = 1 + (u pre 0)``
+    * ``x^ = [¬a]``, ``x = 1 + (x pre 0)``
+    """
+    builder = ProcessBuilder(name, inputs=["a"], outputs=["u", "x"])
+    builder.constrain(tick("u"), when_true("a"))
+    builder.define("u", const(1) + signal("u").pre(0))
+    builder.constrain(tick("x"), when_false("a"))
+    builder.define("x", const(1) + signal("x").pre(0))
+    return builder.build()
+
+
+def consumer_process(name: str = "consumer") -> ProcessDefinition:
+    """``v = consumer(b, x)``: add ``x`` (or 1) to the count ``v`` at the pace of ``b``.
+
+    * ``v^ = b^``
+    * ``x^ = [b]``
+    * ``v = (v pre 0) + (x default 1)``
+    """
+    builder = ProcessBuilder(name, inputs=["b", "x"], outputs=["v"])
+    builder.constrain(tick("v"), tick("b"))
+    builder.constrain(tick("x"), when_true("b"))
+    builder.define("v", signal("v").pre(0) + signal("x").default(const(1)))
+    return builder.build()
+
+
+def main_process(name: str = "main") -> ProcessDefinition:
+    """``(u, v) = main(a, b)``: the composition of the producer and the consumer.
+
+    The shared signal ``x`` is local to the composition; its clock is
+    constrained to ``[¬a]`` by the producer and to ``[b]`` by the consumer,
+    which is exactly the clock constraint ``[¬a] = [b]`` that Polychrony
+    reports and that the controller of Section 5.2 enforces.
+    """
+    builder = ProcessBuilder(name, inputs=["a", "b"], outputs=["u", "v"])
+    builder.local("x")
+    builder.instantiate("producer", ["a"], ["u", "x"])
+    builder.instantiate("consumer", ["b", "x"], ["v"])
+    return builder.build()
+
+
+def main2_process(name: str = "main2") -> ProcessDefinition:
+    """``(u, w) = main2(a, b, c)``: main composed with a second consumer (Section 5.2).
+
+    Demonstrates the compositionality of the scheme: adding one more
+    endochronous component only requires one more controller between the new
+    component and the existing network.
+    """
+    builder = ProcessBuilder(name, inputs=["a", "b", "c"], outputs=["u", "w"])
+    builder.local("x", "v")
+    builder.instantiate("producer", ["a"], ["u", "x"])
+    builder.instantiate("consumer", ["b", "x"], ["v"])
+    builder.instantiate("consumer", ["c", "v"], ["w"])
+    return builder.build()
+
+
+def registry() -> Dict[str, ProcessDefinition]:
+    """The process registry needed to normalize ``main`` and ``main2``."""
+    return {
+        "producer": producer_process(),
+        "consumer": consumer_process(),
+    }
+
+
+def normalized_suite() -> Dict[str, NormalizedProcess]:
+    """Normalized producer, consumer, main and main2 (keyed by name)."""
+    definitions = registry()
+    return {
+        "producer": normalize(definitions["producer"]),
+        "consumer": normalize(definitions["consumer"]),
+        "main": normalize(main_process(), definitions),
+        "main2": normalize(main2_process(), definitions),
+    }

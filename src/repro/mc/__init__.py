@@ -1,0 +1,35 @@
+"""Model-checking substrate (the role Sigali plays for Polychrony).
+
+The paper checks weak endochrony by model checking three invariants over the
+boolean abstraction of a Signal process (Section 4.1).  This package builds
+that abstraction as a finite labelled transition system whose labels are
+reactions, explores it explicitly or symbolically (with BDDs), and implements
+the ``StateIndependent``, ``OrderIndependent`` and ``FlowIndependent``
+invariants used by Property 3.
+"""
+
+from repro.mc.transition import BooleanAbstraction, ReactionChoice, ReactionLTS, build_lts
+from repro.mc.explicit import ExplicitStateChecker, InvariantResult
+from repro.mc.symbolic import SymbolicChecker
+from repro.mc.invariants import (
+    check_state_independent,
+    check_order_independent,
+    check_flow_independent,
+    check_weak_endochrony_invariants,
+    WeakEndochronyInvariantReport,
+)
+
+__all__ = [
+    "BooleanAbstraction",
+    "ReactionChoice",
+    "ReactionLTS",
+    "build_lts",
+    "ExplicitStateChecker",
+    "InvariantResult",
+    "SymbolicChecker",
+    "check_state_independent",
+    "check_order_independent",
+    "check_flow_independent",
+    "check_weak_endochrony_invariants",
+    "WeakEndochronyInvariantReport",
+]

@@ -1,0 +1,158 @@
+"""Symbolic (BDD-based) exploration of the boolean abstraction.
+
+The explicit checker of :mod:`repro.mc.explicit` is sufficient for the paper's
+examples; this module provides the symbolic counterpart so that the cost
+comparison of the paper (static criterion vs. state-space exploration) can be
+reproduced with either engine.  The transition relation is built over three
+groups of BDD variables:
+
+* ``s·r``   — current value of boolean register ``r``;
+* ``s'·r``  — next value of boolean register ``r``;
+* ``e·x``   — presence of signal ``x`` in the reaction (the event variables).
+
+Reachability is the usual image fixpoint; invariants are checked on the
+reachable set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bdd.bdd import BDD, BDDManager
+from repro.mc.explicit import InvariantResult
+from repro.mc.transition import ReactionLTS, State
+
+
+def current_variable(register: str) -> str:
+    return f"s·{register}"
+
+
+def next_variable(register: str) -> str:
+    return f"s'·{register}"
+
+
+def event_variable(signal: str) -> str:
+    return f"e·{signal}"
+
+
+class SymbolicChecker:
+    """BDD-based reachability and invariant checking over a reaction LTS.
+
+    The LTS is first built explicitly (the enumeration of feasible reactions
+    requires the interpreter), then encoded symbolically; all fixpoint
+    computations after that point are pure BDD operations.  This mirrors how
+    Sigali is used in the paper: the Signal program is compiled to a
+    polynomial/boolean transition system once, and every property is then
+    checked symbolically.
+    """
+
+    def __init__(self, lts: ReactionLTS, manager: Optional[BDDManager] = None):
+        self.lts = lts
+        self.manager = manager or BDDManager()
+        self._registers: Tuple[str, ...] = tuple(name for name, _ in lts.initial)
+        self._signals: Tuple[str, ...] = self._collect_signals()
+        for register in self._registers:
+            self.manager.declare(current_variable(register))
+            self.manager.declare(next_variable(register))
+        for signal in self._signals:
+            self.manager.declare(event_variable(signal))
+        self._transition_relation = self._encode_transitions()
+        self._initial = self._encode_state(lts.initial, current_variable)
+
+    # -- encoding ----------------------------------------------------------------
+    def _collect_signals(self) -> Tuple[str, ...]:
+        signals: Set[str] = set()
+        for transition in self.lts.transitions:
+            signals.update(transition.reaction.domain)
+        return tuple(sorted(signals))
+
+    def _encode_state(self, state: State, variable_of) -> BDD:
+        encoded = self.manager.true
+        for register, value in state:
+            variable = self.manager.var(variable_of(register))
+            encoded = encoded & (variable if bool(value) else ~variable)
+        return encoded
+
+    def _encode_reaction(self, reaction) -> BDD:
+        encoded = self.manager.true
+        present = reaction.present_signals()
+        for signal in self._signals:
+            variable = self.manager.var(event_variable(signal))
+            encoded = encoded & (variable if signal in present else ~variable)
+        return encoded
+
+    def _encode_transitions(self) -> BDD:
+        relation = self.manager.false
+        for transition in self.lts.transitions:
+            encoded = (
+                self._encode_state(transition.source, current_variable)
+                & self._encode_reaction(transition.reaction)
+                & self._encode_state(transition.target, next_variable)
+            )
+            relation = relation | encoded
+        return relation
+
+    # -- reachability ---------------------------------------------------------------
+    @property
+    def transition_relation(self) -> BDD:
+        return self._transition_relation
+
+    @property
+    def initial_states(self) -> BDD:
+        return self._initial
+
+    def image(self, states: BDD) -> BDD:
+        """The set of states reachable in exactly one transition from ``states``."""
+        event_vars = [event_variable(signal) for signal in self._signals]
+        current_vars = [current_variable(register) for register in self._registers]
+        step = (states & self._transition_relation).exists(event_vars + current_vars)
+        renaming = {
+            next_variable(register): current_variable(register) for register in self._registers
+        }
+        return step.rename(renaming)
+
+    def reachable_states(self, max_iterations: int = 10_000) -> BDD:
+        """Least fixpoint of the image starting from the initial states."""
+        reached = self._initial
+        for _ in range(max_iterations):
+            extended = reached | self.image(reached)
+            if self.manager.equivalent(extended, reached):
+                return reached
+            reached = extended
+        raise RuntimeError("reachability fixpoint did not converge")
+
+    def reachable_count(self) -> int:
+        variables = [current_variable(register) for register in self._registers]
+        if not variables:
+            return 1 if self.reachable_states().is_satisfiable() else 0
+        return self.reachable_states().count(variables)
+
+    # -- invariants -------------------------------------------------------------------
+    def check_invariant(self, name: str, invariant: BDD) -> InvariantResult:
+        """Check that ``invariant`` (over current-state variables) holds on all reachable states."""
+        violating = self.reachable_states() & ~invariant
+        if violating.is_false():
+            return InvariantResult(name, True)
+        witness = violating.satisfy_one() or {}
+        readable = {
+            variable.split("·", 1)[1]: value
+            for variable, value in witness.items()
+            if variable.startswith("s·")
+        }
+        return InvariantResult(name, False, f"reachable counterexample state {readable}")
+
+    def check_reaction_invariant(self, name: str, invariant: BDD) -> InvariantResult:
+        """Check an invariant over current-state and event variables on every transition."""
+        violating = self.reachable_states() & self._transition_relation & ~invariant
+        if violating.is_false():
+            return InvariantResult(name, True)
+        witness = violating.satisfy_one() or {}
+        readable = {variable: value for variable, value in witness.items() if value}
+        return InvariantResult(name, False, f"violating transition {readable}")
+
+    # -- helpers for building invariants -------------------------------------------------
+    def event(self, signal: str) -> BDD:
+        return self.manager.var(event_variable(signal))
+
+    def register(self, name: str) -> BDD:
+        return self.manager.var(current_variable(name))

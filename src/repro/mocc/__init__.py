@@ -1,0 +1,44 @@
+"""Polychronous model of computation.
+
+This package implements the tagged-signal model underlying Signal and
+Polychrony, as presented in Section 2.1 of the paper: tags and chains,
+events, signal traces, behaviors, reactions and (denotational) processes,
+together with the equivalences (clock equivalence, flow equivalence) and
+compositions (synchronous ``|`` and asynchronous ``||``) used to state
+endochrony, weak endochrony and isochrony.
+"""
+
+from repro.mocc.tags import Tag, TagSupply, chain_of, is_chain
+from repro.mocc.signals import SignalTrace
+from repro.mocc.behaviors import (
+    Behavior,
+    clock_equivalent,
+    flow_equivalent,
+    is_stretching,
+    is_relaxation,
+)
+from repro.mocc.reactions import Reaction, independent, merge_reactions
+from repro.mocc.processes import (
+    DenotationalProcess,
+    synchronous_composition,
+    asynchronous_composition,
+)
+
+__all__ = [
+    "Tag",
+    "TagSupply",
+    "chain_of",
+    "is_chain",
+    "SignalTrace",
+    "Behavior",
+    "clock_equivalent",
+    "flow_equivalent",
+    "is_stretching",
+    "is_relaxation",
+    "Reaction",
+    "independent",
+    "merge_reactions",
+    "DenotationalProcess",
+    "synchronous_composition",
+    "asynchronous_composition",
+]

@@ -1,0 +1,194 @@
+"""Behaviors and the equivalences of the polychronous model.
+
+A *behavior* is a function from signal names to signals (Section 2.1).  This
+module implements:
+
+* restriction ``b|X`` and its complement ``b/X``;
+* stretching ``b <= c`` (synchronization) and relaxation ``b ⊑ c``
+  (desynchronization);
+* clock equivalence ``b ~ c`` (equality up to an order isomorphism on tags);
+* flow equivalence ``b ≈ c`` (same values in the same order on every signal).
+
+Clock equivalence is decided through a *canonical form*: the tags occurring
+in a behavior are re-labelled by their rank, so two behaviors are clock
+equivalent iff their canonical forms are equal.  This is sound because tags
+are totally ordered in the reproduction and a stretching is exactly a
+strictly monotone re-labelling of tags.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.mocc.signals import SignalTrace, Value
+from repro.mocc.tags import Tag
+
+
+class Behavior:
+    """An immutable mapping from signal names to :class:`SignalTrace`."""
+
+    __slots__ = ("_signals",)
+
+    def __init__(self, signals: Optional[Mapping[str, SignalTrace]] = None):
+        self._signals: Dict[str, SignalTrace] = dict(signals or {})
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def empty(cls, names: Iterable[str]) -> "Behavior":
+        """The empty behavior on the given signal names (all signals empty)."""
+        return cls({name: SignalTrace.empty() for name in names})
+
+    @classmethod
+    def from_value_rows(cls, rows: Mapping[str, Mapping[Tag, Value]]) -> "Behavior":
+        """Build a behavior from ``{name: {tag: value}}`` rows."""
+        return cls({name: SignalTrace(events) for name, events in rows.items()})
+
+    # -- basic queries -----------------------------------------------------
+    def domain(self) -> Set[str]:
+        """The set of signal names of the behavior (written V(b) in the paper)."""
+        return set(self._signals)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signals
+
+    def __getitem__(self, name: str) -> SignalTrace:
+        return self._signals[name]
+
+    def get(self, name: str, default: Optional[SignalTrace] = None) -> Optional[SignalTrace]:
+        return self._signals.get(name, default)
+
+    def items(self) -> Iterator[Tuple[str, SignalTrace]]:
+        return iter(sorted(self._signals.items()))
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._signals))
+
+    def tags(self) -> Tuple[Tag, ...]:
+        """All tags occurring in the behavior, in increasing order."""
+        all_tags: Set[Tag] = set()
+        for trace in self._signals.values():
+            all_tags.update(trace.tags)
+        return tuple(sorted(all_tags))
+
+    def is_empty(self) -> bool:
+        """True iff every signal of the behavior is empty."""
+        return all(len(trace) == 0 for trace in self._signals.values())
+
+    def length(self) -> int:
+        """Number of distinct tags in the behavior."""
+        return len(self.tags())
+
+    # -- restriction -------------------------------------------------------
+    def restrict(self, names: Iterable[str]) -> "Behavior":
+        """Restriction ``b|X``: keep only the signals named in ``names``."""
+        wanted = set(names)
+        return Behavior({name: trace for name, trace in self._signals.items() if name in wanted})
+
+    def hide(self, names: Iterable[str]) -> "Behavior":
+        """Complement ``b/X``: drop the signals named in ``names``."""
+        unwanted = set(names)
+        return Behavior({name: trace for name, trace in self._signals.items() if name not in unwanted})
+
+    def union(self, other: "Behavior") -> "Behavior":
+        """Disjoint-domain union of two behaviors (``b ∪ c``).
+
+        Signals present in both behaviors must be identical.
+        """
+        merged = dict(self._signals)
+        for name, trace in other._signals.items():
+            if name in merged and merged[name] != trace:
+                raise ValueError(f"behaviors disagree on shared signal {name!r}")
+            merged[name] = trace
+        return Behavior(merged)
+
+    def restrict_tags(self, tags: Iterable[Tag]) -> "Behavior":
+        """Keep only the events whose tag belongs to ``tags`` on every signal."""
+        wanted = set(tags)
+        return Behavior({name: trace.restrict_to(wanted) for name, trace in self._signals.items()})
+
+    def prefix(self, instants: int) -> "Behavior":
+        """The behavior restricted to its first ``instants`` distinct tags."""
+        kept = set(self.tags()[:instants])
+        return self.restrict_tags(kept)
+
+    # -- canonical form and equivalences ------------------------------------
+    def canonical(self) -> "Behavior":
+        """Re-label tags by their rank among all tags of the behavior."""
+        ranking = {tag: index for index, tag in enumerate(self.tags())}
+        return Behavior(
+            {name: trace.relabel(lambda tag: ranking[tag]) for name, trace in self._signals.items()}
+        )
+
+    def flows(self) -> Dict[str, Tuple[Value, ...]]:
+        """The per-signal value sequences (the information preserved by ≈)."""
+        return {name: trace.values for name, trace in self._signals.items()}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Behavior):
+            return NotImplemented
+        return self._signals == other._signals
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((name, trace) for name, trace in self._signals.items())))
+
+    def __repr__(self) -> str:
+        rows = ", ".join(f"{name}: {trace!r}" for name, trace in self.items())
+        return f"Behavior({rows})"
+
+
+# ---------------------------------------------------------------------------
+# Stretching, relaxation and the equivalences of Section 2.1.
+# ---------------------------------------------------------------------------
+
+def is_stretching(base: Behavior, stretched: Behavior) -> bool:
+    """True iff ``stretched`` is a stretching of ``base`` (written b <= c).
+
+    A stretching preserves the domain and re-labels tags through a strictly
+    monotone function that is common to all signals of the behavior.
+    """
+    if base.domain() != stretched.domain():
+        return False
+    base_tags = base.tags()
+    stretched_tags = stretched.tags()
+    if len(base_tags) != len(stretched_tags):
+        return False
+    mapping = dict(zip(base_tags, stretched_tags))
+    if any(mapping[tag] < tag for tag in base_tags):
+        return False
+    for name in base.names():
+        base_trace = base[name]
+        other_trace = stretched[name]
+        if tuple(mapping[tag] for tag in base_trace.tags) != other_trace.tags:
+            return False
+        if base_trace.values != other_trace.values:
+            return False
+    return True
+
+
+def clock_equivalent(left: Behavior, right: Behavior) -> bool:
+    """Clock equivalence ``b ~ c``: equality up to an isomorphism on tags."""
+    if left.domain() != right.domain():
+        return False
+    return left.canonical() == right.canonical()
+
+
+def is_relaxation(base: Behavior, relaxed: Behavior) -> bool:
+    """True iff ``relaxed`` is a relaxation of ``base`` (written b ⊑ c).
+
+    A relaxation stretches each signal independently: per-signal value
+    sequences are preserved but the relative interleaving across signals may
+    change.
+    """
+    if base.domain() != relaxed.domain():
+        return False
+    for name in base.names():
+        if base[name].values != relaxed[name].values:
+            return False
+    return True
+
+
+def flow_equivalent(left: Behavior, right: Behavior) -> bool:
+    """Flow equivalence ``b ≈ c``: same domain, same per-signal value flows."""
+    if left.domain() != right.domain():
+        return False
+    return left.flows() == right.flows()

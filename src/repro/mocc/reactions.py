@@ -1,0 +1,130 @@
+"""Reactions: behaviors with (at most) one time tag.
+
+Reactions are the unit of execution in the paper's semantics: the meaning of
+a Signal process is built by concatenating reactions, and weak endochrony
+(Definition 2) is stated in terms of independent reactions and their union
+``r ⊔ s``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.mocc.behaviors import Behavior
+from repro.mocc.signals import SignalTrace, Value
+from repro.mocc.tags import Tag
+
+
+class Reaction:
+    """An assignment of values to a subset of signals at a single instant.
+
+    A reaction is *silent* (stuttering) when it assigns no signal at all.
+    Unlike :class:`Behavior`, a reaction abstracts the concrete tag: the tag
+    is chosen when the reaction is concatenated to a behavior.
+    """
+
+    __slots__ = ("_domain", "_present")
+
+    def __init__(self, domain: Iterable[str], present: Optional[Mapping[str, Value]] = None):
+        self._domain: Tuple[str, ...] = tuple(sorted(set(domain)))
+        values = dict(present or {})
+        unknown = set(values) - set(self._domain)
+        if unknown:
+            raise ValueError(f"reaction assigns signals outside its domain: {sorted(unknown)}")
+        self._present: Dict[str, Value] = values
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def domain(self) -> Tuple[str, ...]:
+        return self._domain
+
+    def present_signals(self) -> Set[str]:
+        """The signals that carry an event in this reaction."""
+        return set(self._present)
+
+    def absent_signals(self) -> Set[str]:
+        return set(self._domain) - set(self._present)
+
+    def is_silent(self) -> bool:
+        """True iff the reaction has no event (a stuttering reaction)."""
+        return not self._present
+
+    def value(self, name: str) -> Value:
+        return self._present[name]
+
+    def get(self, name: str, default: Optional[Value] = None) -> Optional[Value]:
+        return self._present.get(name, default)
+
+    def items(self) -> Tuple[Tuple[str, Value], ...]:
+        return tuple(sorted(self._present.items()))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._present
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Reaction):
+            return NotImplemented
+        return self._domain == other._domain and self._present == other._present
+
+    def __hash__(self) -> int:
+        return hash((self._domain, tuple(sorted(self._present.items()))))
+
+    def __repr__(self) -> str:
+        events = " ".join(f"{name}={value!r}" for name, value in self.items())
+        return f"Reaction({events or 'silent'})"
+
+    # -- transformations ----------------------------------------------------
+    def restrict(self, names: Iterable[str]) -> "Reaction":
+        """Restriction of the reaction to a subset of its domain."""
+        wanted = set(names)
+        return Reaction(
+            [name for name in self._domain if name in wanted],
+            {name: value for name, value in self._present.items() if name in wanted},
+        )
+
+    def on_domain(self, domain: Iterable[str]) -> "Reaction":
+        """The same events viewed on a (possibly larger) domain."""
+        return Reaction(domain, self._present)
+
+    def as_behavior(self, tag: Tag) -> Behavior:
+        """The reaction as a behavior whose unique tag is ``tag``."""
+        return Behavior(
+            {
+                name: (SignalTrace({tag: self._present[name]}) if name in self._present else SignalTrace.empty())
+                for name in self._domain
+            }
+        )
+
+
+def independent(left: Reaction, right: Reaction) -> bool:
+    """True iff the two reactions have disjoint sets of present signals."""
+    return not (left.present_signals() & right.present_signals())
+
+
+def merge_reactions(left: Reaction, right: Reaction) -> Reaction:
+    """The union ``r ⊔ s`` of two independent reactions."""
+    if not independent(left, right):
+        raise ValueError("cannot merge reactions that share present signals")
+    domain = set(left.domain) | set(right.domain)
+    events: Dict[str, Value] = dict(left.items())
+    events.update(dict(right.items()))
+    return Reaction(domain, events)
+
+
+def concatenate(behavior: Behavior, reaction: Reaction, tag: Optional[Tag] = None) -> Behavior:
+    """Concatenation ``b · r``: append a reaction after the end of a behavior."""
+    if reaction.present_signals() - behavior.domain():
+        missing = sorted(reaction.present_signals() - behavior.domain())
+        raise ValueError(f"reaction mentions signals absent from the behavior: {missing}")
+    existing = behavior.tags()
+    if tag is None:
+        tag = (existing[-1] + 1) if existing else 0
+    elif existing and tag <= existing[-1]:
+        raise ValueError(f"tag {tag} does not come after the behavior (last tag {existing[-1]})")
+    rows: Dict[str, SignalTrace] = {}
+    for name in behavior.names():
+        trace = behavior[name]
+        if name in reaction:
+            trace = trace.append(tag, reaction.value(name))
+        rows[name] = trace
+    return Behavior(rows)

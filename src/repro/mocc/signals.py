@@ -1,0 +1,159 @@
+"""Signal traces: functions from a chain of tags to values.
+
+A *signal* in the polychronous model is a function from a chain of tags to
+values.  :class:`SignalTrace` is an immutable representation of such a
+function.  It supports the operations needed by the equivalences and
+compositions of the model: restriction to a prefix, value-sequence
+extraction (for flow equivalence), tag re-labelling (for stretching /
+clock equivalence) and concatenation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.mocc.tags import Tag, is_chain
+
+Value = object
+
+
+class SignalTrace:
+    """An immutable finite signal: a mapping from a chain of tags to values."""
+
+    __slots__ = ("_tags", "_values")
+
+    def __init__(self, events: Optional[Mapping[Tag, Value]] = None):
+        items = sorted((events or {}).items())
+        self._tags: Tuple[Tag, ...] = tuple(tag for tag, _ in items)
+        self._values: Tuple[Value, ...] = tuple(value for _, value in items)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[Tag, Value]]) -> "SignalTrace":
+        """Build a trace from ``(tag, value)`` pairs; tags must be distinct."""
+        events: Dict[Tag, Value] = {}
+        for tag, value in pairs:
+            if tag in events:
+                raise ValueError(f"duplicate tag {tag} in signal trace")
+            events[tag] = value
+        return cls(events)
+
+    @classmethod
+    def from_values(cls, values: Sequence[Value], start: Tag = 0, step: int = 1) -> "SignalTrace":
+        """Build a trace carrying ``values`` at evenly spaced tags."""
+        return cls({start + index * step: value for index, value in enumerate(values)})
+
+    @classmethod
+    def empty(cls) -> "SignalTrace":
+        """The empty signal (no events)."""
+        return cls({})
+
+    # -- basic queries -----------------------------------------------------
+    @property
+    def tags(self) -> Tuple[Tag, ...]:
+        """The chain of tags at which the signal is present."""
+        return self._tags
+
+    @property
+    def values(self) -> Tuple[Value, ...]:
+        """The flow of values carried by the signal, in tag order."""
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __bool__(self) -> bool:
+        return bool(self._tags)
+
+    def __iter__(self) -> Iterator[Tuple[Tag, Value]]:
+        return iter(zip(self._tags, self._values))
+
+    def __contains__(self, tag: Tag) -> bool:
+        return tag in set(self._tags)
+
+    def __getitem__(self, tag: Tag) -> Value:
+        try:
+            index = self._tags.index(tag)
+        except ValueError:
+            raise KeyError(f"signal has no event at tag {tag}") from None
+        return self._values[index]
+
+    def get(self, tag: Tag, default: Optional[Value] = None) -> Optional[Value]:
+        """Value at ``tag`` or ``default`` when the signal is absent there."""
+        try:
+            return self[tag]
+        except KeyError:
+            return default
+
+    def min_tag(self) -> Tag:
+        """Minimal tag of a non-empty signal."""
+        if not self._tags:
+            raise ValueError("empty signal has no minimal tag")
+        return self._tags[0]
+
+    def max_tag(self) -> Tag:
+        """Maximal tag of a non-empty signal."""
+        if not self._tags:
+            raise ValueError("empty signal has no maximal tag")
+        return self._tags[-1]
+
+    # -- transformations ---------------------------------------------------
+    def relabel(self, mapping: Callable[[Tag], Tag]) -> "SignalTrace":
+        """Apply a tag bijection; the result must still be a chain."""
+        relabelled = {mapping(tag): value for tag, value in self}
+        tags = tuple(sorted(relabelled))
+        if not is_chain(tags) or len(tags) != len(self._tags):
+            raise ValueError("relabelling is not injective on the signal's tags")
+        return SignalTrace(relabelled)
+
+    def restrict_to(self, tags: Iterable[Tag]) -> "SignalTrace":
+        """Keep only events whose tag belongs to ``tags``."""
+        wanted = set(tags)
+        return SignalTrace({tag: value for tag, value in self if tag in wanted})
+
+    def before(self, tag: Tag) -> "SignalTrace":
+        """Events with tag strictly smaller than ``tag``."""
+        return SignalTrace({t: v for t, v in self if t < tag})
+
+    def value_at_or_before(self, tag: Tag, default: Optional[Value] = None) -> Optional[Value]:
+        """Most recent value at a tag ``<= tag``, or ``default`` when none exists."""
+        result = default
+        for t, v in self:
+            if t <= tag:
+                result = v
+            else:
+                break
+        return result
+
+    def append(self, tag: Tag, value: Value) -> "SignalTrace":
+        """Return a new trace with one more event; ``tag`` must be past the end."""
+        if self._tags and tag <= self._tags[-1]:
+            raise ValueError(f"tag {tag} is not greater than the last tag {self._tags[-1]}")
+        events = dict(self)
+        events[tag] = value
+        return SignalTrace(events)
+
+    def concat(self, other: "SignalTrace") -> "SignalTrace":
+        """Concatenate a later trace to this one (tags of ``other`` come after)."""
+        if self._tags and other._tags and other._tags[0] <= self._tags[-1]:
+            raise ValueError("traces overlap: cannot concatenate")
+        events = dict(self)
+        events.update(dict(other))
+        return SignalTrace(events)
+
+    # -- comparisons ---------------------------------------------------------
+    def same_flow(self, other: "SignalTrace") -> bool:
+        """True iff both signals carry the same values in the same order."""
+        return self._values == other._values
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignalTrace):
+            return NotImplemented
+        return self._tags == other._tags and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash((self._tags, self._values))
+
+    def __repr__(self) -> str:
+        events = " ".join(f"({tag},{value!r})" for tag, value in self)
+        return f"SignalTrace({events})"

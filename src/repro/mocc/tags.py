@@ -1,0 +1,59 @@
+"""Tags and chains of tags.
+
+In the polychronous model of computation, a *tag* denotes a period in time
+during which execution takes place.  Time is a partial order on tags; a
+*chain* is a totally ordered set of tags and defines the clock of a signal.
+
+The reproduction uses integers as tags.  Integers are totally ordered, which
+is sufficient because every construction in the paper only ever compares tags
+that belong to the same behavior, where a common refinement of the per-signal
+chains always exists.  Partial-order aspects (independence of tags of
+unrelated signals) are captured by the equivalences of
+:mod:`repro.mocc.behaviors` rather than by the tag type itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+Tag = int
+
+
+def is_chain(tags: Sequence[Tag]) -> bool:
+    """Return True iff ``tags`` is strictly increasing (a chain of tags)."""
+    return all(earlier < later for earlier, later in zip(tags, tags[1:]))
+
+
+def chain_of(tags: Iterable[Tag]) -> Tuple[Tag, ...]:
+    """Normalize an iterable of tags into a chain (sorted, duplicates removed)."""
+    return tuple(sorted(set(tags)))
+
+
+@dataclass
+class TagSupply:
+    """A monotone supply of fresh tags.
+
+    Used by the interpreter and by trace constructions that need new instants
+    guaranteed to be later than every tag produced so far.
+    """
+
+    next_tag: Tag = 0
+    _produced: list = field(default_factory=list, repr=False)
+
+    def fresh(self) -> Tag:
+        """Return a fresh tag strictly greater than all previously produced ones."""
+        tag = self.next_tag
+        self.next_tag += 1
+        self._produced.append(tag)
+        return tag
+
+    def fresh_after(self, tag: Tag) -> Tag:
+        """Return a fresh tag strictly greater than ``tag`` (and all produced ones)."""
+        if tag >= self.next_tag:
+            self.next_tag = tag + 1
+        return self.fresh()
+
+    def produced(self) -> Tuple[Tag, ...]:
+        """All tags handed out so far, in order of production."""
+        return tuple(self._produced)

@@ -1,0 +1,51 @@
+"""Formal properties of Section 4 and the compositional design criterion.
+
+* :mod:`repro.properties.compilable` — the analysis pipeline and
+  compilability (Definition 10);
+* :mod:`repro.properties.endochrony` — hierarchic processes (Definition 11),
+  the static endochrony criterion (Property 2) and the trace-based check of
+  Definition 1;
+* :mod:`repro.properties.weak_endochrony` — weak endochrony (Definition 2)
+  over the reaction LTS, plus the model-checking formulation of Section 4.1;
+* :mod:`repro.properties.nonblocking` — non-blocking processes (Definition 4);
+* :mod:`repro.properties.isochrony` — isochrony (Definition 3) on bounded
+  traces;
+* :mod:`repro.properties.composition` — the *weakly hierarchic* criterion
+  (Definition 12) and the Theorem 1 pipeline.
+"""
+
+from repro.properties.compilable import ProcessAnalysis, is_compilable
+from repro.properties.endochrony import (
+    is_hierarchic,
+    is_endochronous,
+    check_endochrony_on_traces,
+    EndochronyTraceReport,
+)
+from repro.properties.weak_endochrony import (
+    check_weak_endochrony,
+    WeakEndochronyReport,
+)
+from repro.properties.nonblocking import is_non_blocking
+from repro.properties.isochrony import check_isochrony, IsochronyReport
+from repro.properties.composition import (
+    CompositionVerdict,
+    check_weakly_hierarchic,
+    compose_and_check,
+)
+
+__all__ = [
+    "ProcessAnalysis",
+    "is_compilable",
+    "is_hierarchic",
+    "is_endochronous",
+    "check_endochrony_on_traces",
+    "EndochronyTraceReport",
+    "check_weak_endochrony",
+    "WeakEndochronyReport",
+    "is_non_blocking",
+    "check_isochrony",
+    "IsochronyReport",
+    "CompositionVerdict",
+    "check_weakly_hierarchic",
+    "compose_and_check",
+]

@@ -1,0 +1,125 @@
+"""The analysis pipeline and compilability (Definition 10).
+
+:class:`ProcessAnalysis` bundles every artefact the paper's analyses build
+from a process — timing relations, clock algebra, hierarchy, disjunctive
+form, scheduling graph — computing each lazily and exactly once.  Every other
+property module works from a :class:`ProcessAnalysis`.
+
+A process is *compilable* (Definition 10) when it is acyclic and its
+relations are well-clocked (well-formed hierarchy + disjunctive form);
+Property 1 states that a compilable process is reactive and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.clocks.algebra import ClockAlgebra
+from repro.clocks.disjunctive import DisjunctiveFormResult, to_disjunctive_form
+from repro.clocks.hierarchy import ClockHierarchy, build_hierarchy
+from repro.clocks.inference import infer_timing_relations
+from repro.clocks.relations import TimingRelations
+from repro.lang.ast import ProcessDefinition
+from repro.lang.normalize import NormalizedProcess, normalize
+from repro.sched.closure import is_acyclic
+from repro.sched.graph import SchedulingGraph
+from repro.sched.reinforce import reinforce
+
+
+class ProcessAnalysis:
+    """Lazily computed analysis artefacts of one normalized process."""
+
+    def __init__(self, process: NormalizedProcess):
+        self.process = process
+        self._relations: Optional[TimingRelations] = None
+        self._algebra: Optional[ClockAlgebra] = None
+        self._hierarchy: Optional[ClockHierarchy] = None
+        self._disjunctive: Optional[DisjunctiveFormResult] = None
+        self._graph: Optional[SchedulingGraph] = None
+        self._reinforced: Optional[SchedulingGraph] = None
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def of(cls, definition: ProcessDefinition, registry=None) -> "ProcessAnalysis":
+        """Analyse a (non-normalized) process definition."""
+        return cls(normalize(definition, registry))
+
+    # -- artefacts ----------------------------------------------------------------
+    @property
+    def relations(self) -> TimingRelations:
+        if self._relations is None:
+            self._relations = infer_timing_relations(self.process)
+        return self._relations
+
+    @property
+    def algebra(self) -> ClockAlgebra:
+        if self._algebra is None:
+            self._algebra = ClockAlgebra(self.process, self.relations)
+        return self._algebra
+
+    @property
+    def hierarchy(self) -> ClockHierarchy:
+        if self._hierarchy is None:
+            self._hierarchy = build_hierarchy(self.process, self.relations, self.algebra)
+        return self._hierarchy
+
+    @property
+    def disjunctive(self) -> DisjunctiveFormResult:
+        if self._disjunctive is None:
+            self._disjunctive = to_disjunctive_form(self.process, self.relations, self.algebra)
+        return self._disjunctive
+
+    @property
+    def scheduling_graph(self) -> SchedulingGraph:
+        if self._graph is None:
+            self._graph = SchedulingGraph.from_relations(
+                self.process, self.disjunctive.relations, self.algebra
+            )
+        return self._graph
+
+    @property
+    def reinforced_graph(self) -> SchedulingGraph:
+        if self._reinforced is None:
+            self._reinforced = reinforce(
+                self.scheduling_graph, self.disjunctive.relations, self.process
+            )
+        return self._reinforced
+
+    # -- verdicts -------------------------------------------------------------------
+    def is_well_clocked(self) -> bool:
+        """Definition 7: well-formed hierarchy and disjunctive relations."""
+        return self.hierarchy.well_formed() and self.disjunctive.is_disjunctive()
+
+    def is_acyclic(self) -> bool:
+        """Definition 8 on the reinforced scheduling graph."""
+        return is_acyclic(self.reinforced_graph)
+
+    def is_compilable(self) -> bool:
+        """Definition 10: acyclic and well-clocked."""
+        return self.is_well_clocked() and self.is_acyclic()
+
+    def is_hierarchic(self) -> bool:
+        """Definition 11: the clock hierarchy has a unique root."""
+        return self.hierarchy.is_hierarchic()
+
+    def root_count(self) -> int:
+        return self.hierarchy.root_count()
+
+    def summary(self) -> Dict[str, object]:
+        """A dictionary of the main verdicts, convenient for reports and tests."""
+        return {
+            "process": self.process.name,
+            "signals": len(self.process.all_signals()),
+            "equations": len(self.process.equations),
+            "roots": self.root_count(),
+            "well_clocked": self.is_well_clocked(),
+            "acyclic": self.is_acyclic(),
+            "compilable": self.is_compilable(),
+            "hierarchic": self.is_hierarchic(),
+        }
+
+
+def is_compilable(process: NormalizedProcess) -> bool:
+    """Definition 10 as a standalone predicate."""
+    return ProcessAnalysis(process).is_compilable()

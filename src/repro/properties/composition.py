@@ -1,0 +1,199 @@
+"""The compositional design criterion (Definition 12 and Theorem 1).
+
+This is the paper's primary contribution: instead of model-checking weak
+endochrony of a composition (exponential in the state space), check
+
+1. that every component is *compilable and hierarchic* — hence endochronous
+   (Property 2), hence weakly endochronous;
+2. that the composition is *well-clocked and acyclic* — which makes it
+   non-blocking;
+
+and conclude (Theorem 1) that the composition is weakly endochronous and that
+the components are isochronous: running them asynchronously yields the same
+flows as the synchronous product.
+
+:func:`compose_and_check` performs the whole pipeline on a list of component
+processes and returns a :class:`CompositionVerdict` carrying the per-component
+and global diagnoses, including the clock constraints between components that
+the code generator of Section 5 turns into synchronization points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.clocks.expressions import format_clock_expression
+from repro.lang.ast import ClockExpressionSyntax, ClockFalse, ClockOf, ClockTrue
+from repro.lang.normalize import NormalizedProcess
+from repro.properties.compilable import ProcessAnalysis
+
+
+@dataclass
+class ComponentDiagnosis:
+    """Per-component verdicts of the weakly hierarchic criterion."""
+
+    name: str
+    compilable: bool
+    hierarchic: bool
+    roots: int
+
+    def endochronous(self) -> bool:
+        """Property 2: compilable and hierarchic implies endochronous."""
+        return self.compilable and self.hierarchic
+
+    def __str__(self) -> str:
+        verdict = "endochronous" if self.endochronous() else "NOT endochronous"
+        return (
+            f"{self.name}: {verdict} "
+            f"(compilable={self.compilable}, roots={self.roots})"
+        )
+
+
+@dataclass
+class CompositionVerdict:
+    """The outcome of the static compositional criterion."""
+
+    components: List[ComponentDiagnosis] = field(default_factory=list)
+    composition_name: str = ""
+    composition_well_clocked: bool = False
+    composition_acyclic: bool = False
+    composition_roots: int = 0
+    shared_signals: List[str] = field(default_factory=list)
+    reported_constraints: List[str] = field(default_factory=list)
+    analysis: Optional[ProcessAnalysis] = None
+
+    def components_endochronous(self) -> bool:
+        return all(component.endochronous() for component in self.components)
+
+    def weakly_hierarchic(self) -> bool:
+        """Definition 12."""
+        return (
+            self.components_endochronous()
+            and self.composition_well_clocked
+            and self.composition_acyclic
+        )
+
+    def weakly_endochronous(self) -> bool:
+        """Theorem 1 (1): a weakly hierarchic process is weakly endochronous."""
+        return self.weakly_hierarchic()
+
+    def isochronous(self) -> bool:
+        """Theorem 1 (2): the components of a weakly hierarchic composition are isochronous."""
+        return self.weakly_hierarchic()
+
+    def endochronous_composition(self) -> bool:
+        """Whether the composition itself is single-rooted (not required by the criterion)."""
+        return self.composition_roots == 1
+
+    def __str__(self) -> str:
+        lines = [f"compositional criterion for {self.composition_name}:"]
+        lines.extend(f"  {component}" for component in self.components)
+        lines.append(
+            f"  composition: well-clocked={self.composition_well_clocked}, "
+            f"acyclic={self.composition_acyclic}, roots={self.composition_roots}"
+        )
+        if self.reported_constraints:
+            lines.append("  reported clock constraints:")
+            lines.extend(f"    {constraint}" for constraint in self.reported_constraints)
+        verdict = (
+            "weakly hierarchic: weakly endochronous and isochronous (Theorem 1)"
+            if self.weakly_hierarchic()
+            else "criterion NOT satisfied"
+        )
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def _shared_signals(components: Sequence[NormalizedProcess]) -> List[str]:
+    """Signals that appear on the interface of at least two components."""
+    counts: Dict[str, int] = {}
+    for component in components:
+        for name in set(component.interface_signals()):
+            counts[name] = counts.get(name, 0) + 1
+    return sorted(name for name, count in counts.items() if count > 1)
+
+
+def _interface_clock_constraints(
+    analysis: ProcessAnalysis, components: Sequence[NormalizedProcess], shared: Iterable[str]
+) -> List[str]:
+    """Clock equalities between the components implied by the composition.
+
+    These are the constraints Polychrony *reports* (Section 5.1) — e.g.
+    ``[¬a] = [b]`` for the producer/consumer pair — and that the synthesized
+    controller of Section 5.2 turns into rendez-vous points.
+    """
+    candidate_clocks: List[ClockExpressionSyntax] = []
+    boolean = set(analysis.process.boolean_signals())
+    inputs_of_components: Set[str] = set()
+    for component in components:
+        inputs_of_components.update(component.inputs)
+    for name in sorted(inputs_of_components | set(shared)):
+        if name not in set(analysis.process.all_signals()):
+            continue
+        candidate_clocks.append(ClockOf(name))
+        if name in boolean:
+            candidate_clocks.append(ClockTrue(name))
+            candidate_clocks.append(ClockFalse(name))
+    constraints: List[str] = []
+    for left, right in analysis.algebra.implied_equalities(candidate_clocks):
+        left_names = left.free_signals()
+        right_names = right.free_signals()
+        if left_names == right_names:
+            continue  # trivially about the same signal
+        constraints.append(
+            f"{format_clock_expression(left)} = {format_clock_expression(right)}"
+        )
+    return constraints
+
+
+def check_weakly_hierarchic(
+    components: Sequence[NormalizedProcess],
+    composition: Optional[NormalizedProcess] = None,
+    composition_name: Optional[str] = None,
+) -> CompositionVerdict:
+    """Definition 12 over explicit components and (optionally) their composition."""
+    if not components:
+        raise ValueError("the criterion needs at least one component")
+    if composition is None:
+        composition = reduce(lambda left, right: left.compose(right), components)
+    if composition_name:
+        composition = NormalizedProcess(
+            name=composition_name,
+            inputs=composition.inputs,
+            outputs=composition.outputs,
+            locals=composition.locals,
+            equations=composition.equations,
+            types=dict(composition.types),
+        )
+
+    verdict = CompositionVerdict(composition_name=composition.name)
+    for component in components:
+        analysis = ProcessAnalysis(component)
+        verdict.components.append(
+            ComponentDiagnosis(
+                name=component.name,
+                compilable=analysis.is_compilable(),
+                hierarchic=analysis.is_hierarchic(),
+                roots=analysis.root_count(),
+            )
+        )
+
+    composition_analysis = ProcessAnalysis(composition)
+    verdict.analysis = composition_analysis
+    verdict.composition_well_clocked = composition_analysis.is_well_clocked()
+    verdict.composition_acyclic = composition_analysis.is_acyclic()
+    verdict.composition_roots = composition_analysis.root_count()
+    verdict.shared_signals = _shared_signals(components)
+    verdict.reported_constraints = _interface_clock_constraints(
+        composition_analysis, components, verdict.shared_signals
+    )
+    return verdict
+
+
+def compose_and_check(
+    components: Sequence[NormalizedProcess], name: Optional[str] = None
+) -> CompositionVerdict:
+    """Compose the components by name-matching and run the static criterion."""
+    return check_weakly_hierarchic(components, composition_name=name)

@@ -1,0 +1,140 @@
+"""Isochrony (Definition 3) checked on bounded traces.
+
+Two processes are isochronous when their synchronous composition and their
+asynchronous composition have the same behaviors up to flow equivalence:
+nothing is lost (and nothing is invented) by letting the two components run
+on unsynchronized clocks and exchange values through FIFOs.
+
+The check below enumerates the bounded behaviors of the two components over
+given input flows, builds both compositions with the operators of
+:mod:`repro.mocc.processes`, and compares the sets of flow-equivalence
+classes of the shared and visible signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.lang.normalize import NormalizedProcess
+from repro.mocc.processes import (
+    DenotationalProcess,
+    asynchronous_composition,
+    synchronous_composition,
+)
+from repro.semantics.denotational import enumerate_behaviors
+
+
+@dataclass
+class IsochronyReport:
+    """Result of the bounded isochrony comparison."""
+
+    left_name: str
+    right_name: str
+    holds: bool
+    synchronous_classes: int = 0
+    asynchronous_classes: int = 0
+    missing_in_synchronous: List[Tuple] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        verdict = "isochronous" if self.holds else "NOT isochronous"
+        return (
+            f"{self.left_name} || {self.right_name}: {verdict} "
+            f"(sync {self.synchronous_classes} flow classes, "
+            f"async {self.asynchronous_classes} flow classes)"
+        )
+
+
+def _observable_signals(
+    left: NormalizedProcess, right: NormalizedProcess, signals: Optional[Iterable[str]]
+) -> Tuple[str, ...]:
+    if signals is not None:
+        return tuple(sorted(signals))
+    visible = set(left.interface_signals()) | set(right.interface_signals())
+    return tuple(sorted(visible))
+
+
+def check_isochrony(
+    left: NormalizedProcess,
+    right: NormalizedProcess,
+    input_flows: Mapping[str, Sequence[object]],
+    max_instants: int = 8,
+    signals: Optional[Iterable[str]] = None,
+) -> IsochronyReport:
+    """Definition 3 on bounded traces: ``p | q ≈ p ‖ q``.
+
+    ``input_flows`` gives the untimed flows of the signals that are inputs of
+    the composition (inputs of either component not produced by the other).
+    The comparison is on flow-equivalence classes: every flow of values
+    reachable asynchronously must be reachable synchronously and conversely.
+    """
+    observable = _observable_signals(left, right, signals)
+
+    left_inputs = {
+        name: values for name, values in input_flows.items() if name in left.inputs
+    }
+    right_inputs = {
+        name: values for name, values in input_flows.items() if name in right.inputs
+    }
+    # Signals produced by one component and consumed by the other are *not*
+    # free inputs: the producing side constrains their flow.  They are left
+    # out of the per-component enumeration inputs only if produced locally.
+    shared_produced_by_left = set(left.outputs) & set(right.inputs)
+    shared_produced_by_right = set(right.outputs) & set(left.inputs)
+    for name in shared_produced_by_left:
+        right_inputs.pop(name, None)
+    for name in shared_produced_by_right:
+        left_inputs.pop(name, None)
+
+    # Synchronous side: the behaviors of the composition p | q itself, i.e. the
+    # executions in which the two components react on a common logical time.
+    composed = left.compose(right)
+    composed_inputs = {
+        name: values for name, values in input_flows.items() if name in composed.inputs
+    }
+    synchronous = enumerate_behaviors(
+        composed,
+        composed_inputs,
+        max_instants=max_instants,
+        signals=tuple(name for name in observable if name in composed.all_signals()),
+    )
+
+    # Asynchronous side: each component is enumerated against untimed flows —
+    # shared flows produced by the other side are taken from its enumeration —
+    # and the results are glued by flow equivalence on the interface (p ‖ q).
+    left_process = enumerate_behaviors(
+        left,
+        {**left_inputs},
+        max_instants=max_instants,
+        signals=tuple(sorted(set(left.interface_signals()) & set(observable))),
+    )
+    right_flows: Dict[str, Sequence[object]] = {**right_inputs}
+    for name in shared_produced_by_left:
+        flows_seen: Set[Tuple[object, ...]] = set()
+        for behavior in left_process:
+            if name in behavior.domain():
+                flows_seen.add(behavior[name].values)
+        if flows_seen:
+            # Use the longest produced flow as the consumer's available flow.
+            right_flows[name] = max(flows_seen, key=len)
+    right_process = enumerate_behaviors(
+        right,
+        right_flows,
+        max_instants=max_instants,
+        signals=tuple(sorted(set(right.interface_signals()) & set(observable))),
+    )
+    asynchronous = asynchronous_composition(left_process, right_process)
+
+    synchronous_classes = synchronous.restrict(observable).flow_classes()
+    asynchronous_classes = asynchronous.restrict(observable).flow_classes()
+
+    missing = sorted(asynchronous_classes - synchronous_classes)
+    holds = not missing and bool(synchronous_classes)
+    return IsochronyReport(
+        left_name=left.name,
+        right_name=right.name,
+        holds=holds,
+        synchronous_classes=len(synchronous_classes),
+        asynchronous_classes=len(asynchronous_classes),
+        missing_in_synchronous=missing,
+    )

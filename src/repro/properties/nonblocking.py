@@ -1,0 +1,29 @@
+"""Non-blocking processes (Definition 4).
+
+A process is non-blocking when, from every reachable state, it admits at
+least one (possibly stuttering) reaction.  In the reaction LTS of the boolean
+abstraction this is simply the absence of deadlock states; the silent
+reaction is admissible whenever the process puts no lower bound on activity,
+so blocking only arises from contradictory timing relations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clocks.hierarchy import ClockHierarchy
+from repro.lang.normalize import NormalizedProcess
+from repro.mc.explicit import ExplicitStateChecker, InvariantResult
+from repro.mc.transition import ReactionLTS, build_lts
+
+
+def is_non_blocking(
+    process: NormalizedProcess,
+    lts: Optional[ReactionLTS] = None,
+    hierarchy: Optional[ClockHierarchy] = None,
+    max_states: int = 512,
+) -> InvariantResult:
+    """Definition 4 over the reachable states of the boolean abstraction."""
+    if lts is None:
+        lts = build_lts(process, hierarchy, max_states=max_states)
+    return ExplicitStateChecker(lts).is_non_blocking()

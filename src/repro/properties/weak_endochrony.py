@@ -1,0 +1,200 @@
+"""Weak endochrony (Definition 2) and its model-checking formulation.
+
+Definition 2 asks a process to be deterministic and to satisfy the diamond
+properties over independent reactions:
+
+* (2a) a reaction that was possible after another independent reaction was
+  already possible before it;
+* (2b) two independent reactions enabled together can be merged into one;
+* (2c) a merged reaction can be split back and performed sequentially.
+
+:func:`check_weak_endochrony` checks these properties directly on the
+reaction LTS of the boolean abstraction.  :func:`model_check_weak_endochrony`
+uses the invariant formulation of Section 4.1 over the roots of the clock
+hierarchy (properties (1)-(3)), which is how the paper proposes to verify the
+property with Sigali; the two agree on the paper's examples and the second is
+the one whose cost the compositional criterion is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.clocks.hierarchy import ClockHierarchy
+from repro.lang.normalize import NormalizedProcess
+from repro.mc.explicit import ExplicitStateChecker, InvariantResult
+from repro.mc.invariants import WeakEndochronyInvariantReport, check_weak_endochrony_invariants
+from repro.mc.transition import ReactionLTS, build_lts
+from repro.mocc.reactions import Reaction, independent, merge_reactions
+from repro.properties.compilable import ProcessAnalysis
+
+
+@dataclass
+class WeakEndochronyReport:
+    """Outcome of checking Definition 2 on the reaction LTS."""
+
+    process_name: str
+    results: List[InvariantResult] = field(default_factory=list)
+    states_explored: int = 0
+    transitions_explored: int = 0
+
+    def holds(self) -> bool:
+        return all(result.holds for result in self.results)
+
+    def failures(self) -> List[InvariantResult]:
+        return [result for result in self.results if not result.holds]
+
+    def __str__(self) -> str:
+        status = "weakly endochronous" if self.holds() else "NOT weakly endochronous"
+        lines = [
+            f"{self.process_name}: {status} "
+            f"({self.states_explored} states, {self.transitions_explored} transitions)"
+        ]
+        lines.extend(f"  {result}" for result in self.results)
+        return "\n".join(lines)
+
+
+def _check_axiom_2a(checker: ExplicitStateChecker, lts: ReactionLTS) -> InvariantResult:
+    """(2a): if b·r·s is possible with r, s independent, then b·s is possible."""
+    name = "axiom 2a (commutation)"
+    for state in lts.states:
+        for first in checker.non_silent_reactions_from(state):
+            successor = checker.successor(state, first)
+            if successor is None:
+                continue
+            for second in checker.non_silent_reactions_from(successor):
+                if not independent(first, second):
+                    continue
+                if not checker.enables(state, second):
+                    return InvariantResult(
+                        name,
+                        False,
+                        f"from state {dict(state)}, {second} is possible after {first} "
+                        f"but not before it",
+                    )
+    return InvariantResult(name, True)
+
+
+def _check_axiom_2b(checker: ExplicitStateChecker, lts: ReactionLTS) -> InvariantResult:
+    """(2b): independent reactions enabled together can be merged."""
+    name = "axiom 2b (merge)"
+    for state in lts.states:
+        enabled = checker.non_silent_reactions_from(state)
+        for index, first in enumerate(enabled):
+            for second in enabled[index + 1 :]:
+                if not independent(first, second):
+                    continue
+                merged = merge_reactions(first, second)
+                if not checker.enables(state, merged):
+                    return InvariantResult(
+                        name,
+                        False,
+                        f"from state {dict(state)}, {first} and {second} are enabled "
+                        f"but their union is not",
+                    )
+    return InvariantResult(name, True)
+
+
+def _split_candidates(reaction: Reaction, other: Reaction) -> Optional[Reaction]:
+    """The common sub-reaction of two reactions (same signals with the same values)."""
+    common = {
+        name
+        for name in reaction.present_signals() & other.present_signals()
+        if reaction.value(name) == other.value(name)
+    }
+    if not common:
+        return None
+    return Reaction(reaction.domain, {name: reaction.value(name) for name in common})
+
+
+def _check_axiom_2c(checker: ExplicitStateChecker, lts: ReactionLTS) -> InvariantResult:
+    """(2c): merged reactions sharing a common part can be decomposed sequentially."""
+    name = "axiom 2c (decomposition)"
+    for state in lts.states:
+        enabled = checker.non_silent_reactions_from(state)
+        for index, first_union in enumerate(enabled):
+            for second_union in enabled[index + 1 :]:
+                core = _split_candidates(first_union, second_union)
+                if core is None:
+                    continue
+                if core == first_union or core == second_union:
+                    continue
+                rest_first = Reaction(
+                    first_union.domain,
+                    {
+                        name: first_union.value(name)
+                        for name in first_union.present_signals() - core.present_signals()
+                    },
+                )
+                rest_second = Reaction(
+                    second_union.domain,
+                    {
+                        name: second_union.value(name)
+                        for name in second_union.present_signals() - core.present_signals()
+                    },
+                )
+                if rest_first.is_silent() or rest_second.is_silent():
+                    continue
+                # Definition 2 quantifies over *independent* reactions: the core and
+                # the two remainders must be pairwise independent for (2c) to apply.
+                if not independent(rest_first, rest_second):
+                    continue
+                if not checker.enables(state, core):
+                    return InvariantResult(
+                        name,
+                        False,
+                        f"from state {dict(state)}, the common part {core} of two enabled "
+                        f"reactions is not itself enabled",
+                    )
+                after_core = checker.successor(state, core)
+                if after_core is None:
+                    continue
+                for rest in (rest_first, rest_second):
+                    if not checker.enables(after_core, rest):
+                        return InvariantResult(
+                            name,
+                            False,
+                            f"from state {dict(state)}, {core} cannot be followed by {rest} "
+                            f"although their union is enabled",
+                        )
+    return InvariantResult(name, True)
+
+
+def check_weak_endochrony(
+    process: NormalizedProcess,
+    lts: Optional[ReactionLTS] = None,
+    hierarchy: Optional[ClockHierarchy] = None,
+    max_states: int = 512,
+) -> WeakEndochronyReport:
+    """Check Definition 2 on the reaction LTS of the boolean abstraction."""
+    if lts is None:
+        lts = build_lts(process, hierarchy, max_states=max_states)
+    checker = ExplicitStateChecker(lts)
+    report = WeakEndochronyReport(
+        process_name=process.name,
+        states_explored=lts.state_count(),
+        transitions_explored=lts.transition_count(),
+    )
+    report.results.append(checker.is_deterministic())
+    report.results.append(_check_axiom_2a(checker, lts))
+    report.results.append(_check_axiom_2b(checker, lts))
+    report.results.append(_check_axiom_2c(checker, lts))
+    return report
+
+
+def model_check_weak_endochrony(
+    process: NormalizedProcess,
+    analysis: Optional[ProcessAnalysis] = None,
+    lts: Optional[ReactionLTS] = None,
+    flow_signals: Iterable[str] = (),
+    max_states: int = 512,
+) -> WeakEndochronyInvariantReport:
+    """Section 4.1: check invariants (1)-(3) over the roots of the hierarchy."""
+    analysis = analysis or ProcessAnalysis(process)
+    if lts is None:
+        lts = build_lts(process, analysis.hierarchy, max_states=max_states)
+    flow_signals = tuple(flow_signals) or tuple(process.outputs)
+    return check_weak_endochrony_invariants(
+        lts, analysis.hierarchy.root_signals(), flow_signals
+    )

@@ -1,0 +1,64 @@
+"""Shared fixtures: the paper's processes in normalized form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.normalize import normalize
+from repro.library.basic import (
+    buffer_process,
+    buffer2_process,
+    filter_merge_composition,
+    filter_process,
+    merge_process,
+)
+from repro.library.ltta import ltta_components, ltta_process
+from repro.library.ltta import normalized_suite as ltta_suite
+from repro.library.ltta import registry as ltta_registry
+from repro.library.producer_consumer import normalized_suite as producer_consumer_suite
+from repro.properties.compilable import ProcessAnalysis
+
+
+@pytest.fixture(scope="session")
+def filter_normalized():
+    return normalize(filter_process())
+
+
+@pytest.fixture(scope="session")
+def merge_normalized():
+    return normalize(merge_process())
+
+
+@pytest.fixture(scope="session")
+def buffer_normalized():
+    return normalize(buffer_process())
+
+
+@pytest.fixture(scope="session")
+def filter_merge():
+    return filter_merge_composition()
+
+
+@pytest.fixture(scope="session")
+def producer_consumer():
+    return producer_consumer_suite()
+
+
+@pytest.fixture(scope="session")
+def ltta():
+    return ltta_suite()
+
+
+@pytest.fixture(scope="session")
+def ltta_parts():
+    return ltta_components()
+
+
+@pytest.fixture(scope="session")
+def buffer_analysis(buffer_normalized):
+    return ProcessAnalysis(buffer_normalized)
+
+
+@pytest.fixture(scope="session")
+def filter_analysis(filter_normalized):
+    return ProcessAnalysis(filter_normalized)

@@ -1,0 +1,156 @@
+"""Unit tests for the ROBDD engine and the boolean expression layer."""
+
+import pytest
+
+from repro.bdd.bdd import BDDManager
+from repro.bdd.expr import FALSE, TRUE, And, Iff, Implies, Not, Or, Var, Xor, conjunction, disjunction
+
+
+@pytest.fixture()
+def manager():
+    return BDDManager(["a", "b", "c", "d"])
+
+
+class TestBDDBasics:
+    def test_terminals(self, manager):
+        assert manager.true.is_true()
+        assert manager.false.is_false()
+        assert manager.true != manager.false
+
+    def test_variable_and_negation(self, manager):
+        a = manager.var("a")
+        assert not a.is_terminal()
+        assert (~a).iff(manager.nvar("a")).is_true()
+
+    def test_hash_consing_makes_equal_functions_identical(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        left = (a & b) | (a & ~b)
+        assert left == a
+        assert ((a | b) & (a | ~b)) == a
+
+    def test_and_or_laws(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert (a & manager.true) == a
+        assert (a & manager.false).is_false()
+        assert (a | manager.false) == a
+        assert (a | manager.true).is_true()
+        assert (a & b) == (b & a)
+
+    def test_xor_iff_implies(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert (a ^ a).is_false()
+        assert a.iff(a).is_true()
+        assert a.implies(a | b).is_true()
+        assert not a.implies(b).is_true()
+
+    def test_ite(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        ite = a.ite(b, c)
+        assert ite.restrict({"a": True}) == b
+        assert ite.restrict({"a": False}) == c
+
+    def test_bool_conversion_is_rejected(self, manager):
+        with pytest.raises(TypeError):
+            bool(manager.var("a"))
+
+
+class TestBDDQueries:
+    def test_restrict(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        function = a & b
+        assert function.restrict({"a": True}) == b
+        assert function.restrict({"a": False}).is_false()
+
+    def test_exists_forall(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        function = a & b
+        assert function.exists(["a"]) == b
+        assert function.forall(["a"]).is_false()
+        assert (a | b).forall(["a"]) == b
+
+    def test_compose(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        function = a & b
+        composed = function.compose({"a": c | b})
+        assert composed == ((c | b) & b)
+
+    def test_rename(self, manager):
+        a = manager.var("a")
+        renamed = (a & manager.var("b")).rename({"a": "c"})
+        assert renamed == (manager.var("c") & manager.var("b"))
+
+    def test_support(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        assert (a & b).support() == {"a", "b"}
+        assert ((a & b) | (a & ~b)).support() == {"a"}
+        assert manager.true.support() == frozenset()
+
+    def test_satisfy_one(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assignment = (a & ~b).satisfy_one()
+        assert assignment == {"a": True, "b": False}
+        assert (a & ~a).satisfy_one() is None
+
+    def test_satisfy_all_and_count(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        function = a | b
+        assignments = list(function.satisfy_all(["a", "b"]))
+        assert len(assignments) == 3
+        assert function.count(["a", "b"]) == 3
+        assert function.count(["a", "b", "c"]) == 6
+
+    def test_count_requires_support_coverage(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        with pytest.raises(ValueError):
+            (a & b).count(["a"])
+
+    def test_evaluate(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        function = a.iff(b)
+        assert function.evaluate({"a": True, "b": True})
+        assert not function.evaluate({"a": True, "b": False})
+
+    def test_node_count_is_reduced(self, manager):
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        assert (a & b & c).node_count() == 3
+
+    def test_implies_check_and_equivalence(self, manager):
+        a, b = manager.var("a"), manager.var("b")
+        assert manager.implies_check(a & b, a)
+        assert not manager.implies_check(a, a & b)
+        assert manager.equivalent(a & b, b & a)
+
+
+class TestBoolExpr:
+    def test_evaluate_matches_bdd(self):
+        manager = BDDManager()
+        expression = Implies(And(Var("a"), Var("b")), Or(Var("a"), Var("c")))
+        compiled = expression.to_bdd(manager)
+        for a in (False, True):
+            for b in (False, True):
+                for c in (False, True):
+                    assignment = {"a": a, "b": b, "c": c}
+                    assert compiled.evaluate(assignment) == expression.evaluate(assignment)
+
+    def test_constants(self):
+        manager = BDDManager()
+        assert TRUE.to_bdd(manager).is_true()
+        assert FALSE.to_bdd(manager).is_false()
+
+    def test_not_xor_iff(self):
+        manager = BDDManager()
+        expression = Iff(Xor(Var("a"), Var("b")), Not(Iff(Var("a"), Var("b"))))
+        assert expression.to_bdd(manager).is_true()
+
+    def test_conjunction_disjunction_helpers(self):
+        manager = BDDManager()
+        everything = conjunction(Var("a"), Var("b"), Var("c"))
+        assert everything.to_bdd(manager).count(["a", "b", "c"]) == 1
+        anything = disjunction(Var("a"), Var("b"))
+        assert anything.to_bdd(manager).count(["a", "b"]) == 3
+        assert conjunction().to_bdd(manager).is_true()
+        assert disjunction().to_bdd(manager).is_false()
+
+    def test_variables(self):
+        expression = And(Var("a"), Or(Var("b"), Not(Var("c"))))
+        assert expression.variables() == {"a", "b", "c"}

@@ -1,0 +1,211 @@
+"""Tests for clock inference, the clock algebra, the hierarchy and disjunctive form.
+
+These cover experiments E5-E7 of DESIGN.md: the buffer's clock relations and
+equivalence classes, its hierarchy figure, and the disjunctive form of the
+symmetric difference in ``current``.
+"""
+
+import pytest
+
+from repro.clocks.algebra import ClockAlgebra
+from repro.clocks.disjunctive import is_well_clocked, to_disjunctive_form
+from repro.clocks.expressions import (
+    clock_key,
+    contains_difference,
+    format_clock_expression,
+    simplify_clock,
+)
+from repro.clocks.hierarchy import build_hierarchy
+from repro.clocks.inference import infer_timing_relations
+from repro.clocks.relations import TimingRelations
+from repro.lang.ast import ClockBinary, ClockEmpty, ClockFalse, ClockOf, ClockTrue
+from repro.lang.builder import ProcessBuilder, const, signal, tick, when_true
+from repro.lang.normalize import normalize
+from repro.library.basic import buffer_process, filter_process
+from repro.properties.compilable import ProcessAnalysis
+
+
+class TestClockExpressions:
+    def test_clock_key_distinguishes_forms(self):
+        assert clock_key(ClockOf("x")) != clock_key(ClockTrue("x"))
+        assert clock_key(ClockTrue("x")) != clock_key(ClockFalse("x"))
+
+    def test_simplify_neutral_elements(self):
+        zero = ClockEmpty()
+        x = ClockOf("x")
+        assert isinstance(simplify_clock(ClockBinary("and", x, zero)), ClockEmpty)
+        assert simplify_clock(ClockBinary("or", x, zero)) == x
+        assert simplify_clock(ClockBinary("diff", x, x)) == ClockEmpty()
+        assert simplify_clock(ClockBinary("or", x, x)) == x
+
+    def test_contains_difference(self):
+        assert contains_difference(ClockBinary("diff", ClockOf("a"), ClockOf("b")))
+        assert not contains_difference(ClockBinary("or", ClockOf("a"), ClockOf("b")))
+
+    def test_format(self):
+        rendered = format_clock_expression(
+            ClockBinary("and", ClockOf("x"), ClockFalse("t"))
+        )
+        assert rendered == "(x^ ∧ [¬t])"
+
+
+class TestInference:
+    def test_delay_synchronizes(self):
+        process = normalize(
+            ProcessBuilder("d", inputs=["a"], outputs=["x"]).define("x", signal("a").pre(0)).build()
+        )
+        relations = infer_timing_relations(process)
+        assert len(relations.clock_relations) == 1
+        assert not relations.scheduling_relations
+
+    def test_sampling_produces_conjunction_and_dependency(self):
+        process = normalize(
+            ProcessBuilder("s", inputs=["y", "c"], outputs=["x"])
+            .define("x", signal("y").when(signal("c")))
+            .build()
+        )
+        relations = infer_timing_relations(process)
+        [relation] = relations.clock_relations
+        assert isinstance(relation.right, ClockBinary) and relation.right.operator == "and"
+        assert len(relations.scheduling_relations) == 2
+
+    def test_merge_produces_disjunction_and_difference_scheduling(self):
+        process = normalize(
+            ProcessBuilder("m", inputs=["y", "z"], outputs=["x"])
+            .define("x", signal("y").default(signal("z")))
+            .build()
+        )
+        relations = infer_timing_relations(process)
+        [relation] = relations.clock_relations
+        assert isinstance(relation.right, ClockBinary) and relation.right.operator == "or"
+        difference_edges = [
+            scheduling
+            for scheduling in relations.scheduling_relations
+            if isinstance(scheduling.clock, ClockBinary) and scheduling.clock.operator == "diff"
+        ]
+        assert len(difference_edges) == 1
+
+    def test_buffer_clock_relations_match_paper(self):
+        """E5: the buffer has one master class {s, t, r, m} and two sampled classes."""
+        process = normalize(buffer_process())
+        relations = infer_timing_relations(process)
+        algebra = ClockAlgebra(process, relations)
+        master = ["buffer_s", "buffer_t", "buffer_r", "buffer_m"]
+        for name in master[1:]:
+            assert algebra.entails_equal(ClockOf(master[0]), ClockOf(name))
+        assert algebra.entails_equal(ClockOf("x"), ClockTrue("buffer_t"))
+        assert algebra.entails_equal(ClockOf("y"), ClockFalse("buffer_t"))
+        # the deduction r^ = x^ ∨ y^ highlighted in Section 3.2
+        assert algebra.entails_equal(
+            ClockOf("buffer_r"), ClockBinary("or", ClockOf("x"), ClockOf("y"))
+        )
+
+
+class TestAlgebra:
+    def test_entailment_uses_boolean_axioms(self, filter_normalized):
+        relations = infer_timing_relations(filter_normalized)
+        algebra = ClockAlgebra(filter_normalized, relations)
+        # x^ = [x] ∨ [¬x] holds by construction of the encoding
+        assert algebra.entails_equal(
+            ClockOf("y"), ClockBinary("or", ClockTrue("y"), ClockFalse("y"))
+        )
+        assert algebra.is_exclusive(ClockTrue("y"), ClockFalse("y"))
+
+    def test_satisfiability(self, filter_normalized):
+        relations = infer_timing_relations(filter_normalized)
+        algebra = ClockAlgebra(filter_normalized, relations)
+        assert algebra.satisfiable()
+
+    def test_empty_clock_detection(self):
+        """A signal synchronized to both [a] and [¬a] can never be present."""
+        builder = ProcessBuilder("dead", inputs=["a"], outputs=["x"])
+        builder.define("x", const(1).when(signal("a")))
+        builder.constrain(tick("x"), when_true("a"))
+        builder.constrain(tick("x"), ClockFalse("a"))
+        process = normalize(builder.build())
+        analysis = ProcessAnalysis(process)
+        assert analysis.algebra.is_empty_clock(ClockOf("x"))
+        # forcing [a] = [¬a] = 0 empties the clock of a as well
+        assert analysis.algebra.is_empty_clock(ClockOf("a"))
+
+    def test_implied_equalities_reports_producer_consumer_constraint(self, producer_consumer):
+        analysis = ProcessAnalysis(producer_consumer["main"])
+        equalities = analysis.algebra.implied_equalities(
+            [ClockFalse("a"), ClockTrue("b"), ClockTrue("a"), ClockFalse("b")]
+        )
+        rendered = {
+            (format_clock_expression(left), format_clock_expression(right))
+            for left, right in equalities
+        }
+        assert ("[¬a]", "[b]") in rendered or ("[b]", "[¬a]") in rendered
+
+
+class TestHierarchy:
+    def test_filter_hierarchy_is_single_rooted(self, filter_analysis):
+        assert filter_analysis.hierarchy.is_hierarchic()
+        [root] = filter_analysis.hierarchy.roots()
+        assert "y" in root.signal_clocks()
+
+    def test_buffer_hierarchy_matches_paper_figure(self, buffer_analysis):
+        """E6: root {s, t, r}, with [t] ~ x^ and [¬t] ~ y^ below it."""
+        hierarchy = buffer_analysis.hierarchy
+        assert hierarchy.is_hierarchic()
+        [root] = hierarchy.roots()
+        assert {"buffer_s", "buffer_t", "buffer_r", "buffer_m"} <= set(root.signal_clocks())
+        assert hierarchy.same_class(ClockOf("x"), ClockTrue("buffer_t"))
+        assert hierarchy.same_class(ClockOf("y"), ClockFalse("buffer_t"))
+        x_class = hierarchy.class_of(ClockOf("x"))
+        y_class = hierarchy.class_of(ClockOf("y"))
+        assert hierarchy.dominates(root.index, x_class.index)
+        assert hierarchy.dominates(root.index, y_class.index)
+        assert not hierarchy.dominates(x_class.index, y_class.index)
+
+    def test_composition_of_filter_and_merge_has_two_roots(self, filter_merge):
+        analysis = ProcessAnalysis(filter_merge["composition"])
+        assert analysis.root_count() == 2
+
+    def test_ill_formed_hierarchy_detected(self):
+        """The paper's ill-formed example: x = y and z | z = y when y constrains input y."""
+        builder = ProcessBuilder("ill", inputs=["y"], outputs=["x"])
+        builder.local("z")
+        builder.define("z", signal("y").when(signal("y")))
+        builder.define("x", signal("y").and_(signal("z")))
+        analysis = ProcessAnalysis(normalize(builder.build()))
+        assert not analysis.hierarchy.well_formed()
+        assert any("true whenever present" in reason for reason in analysis.hierarchy.ill_formed_reasons())
+
+    def test_describe_renders_forest(self, buffer_analysis):
+        description = buffer_analysis.hierarchy.describe()
+        assert "buffer_t^" in description
+        assert "[buffer_t]" in description
+
+    def test_subtree_signals(self, buffer_analysis):
+        hierarchy = buffer_analysis.hierarchy
+        [root] = hierarchy.roots()
+        assert {"x", "y"} <= hierarchy.subtree_signals(root)
+
+
+class TestDisjunctiveForm:
+    def test_buffer_difference_is_eliminated(self, buffer_analysis):
+        """E7: the difference r^ \\ y^ of ``current`` is rewritten on the value of t."""
+        result = buffer_analysis.disjunctive
+        assert result.is_disjunctive()
+        eliminated = [rewrite for rewrite in result.rewrites if rewrite.eliminated()]
+        assert eliminated, "the buffer's merge introduces at least one difference to eliminate"
+
+    def test_filter_is_well_clocked(self, filter_normalized):
+        assert is_well_clocked(filter_normalized)
+
+    def test_unresolvable_difference_is_reported(self):
+        """A merge of two unrelated inputs leaves z^ \\ y^ without a disjunctive form."""
+        builder = ProcessBuilder("free_merge", inputs=["y", "z"], outputs=["x"])
+        builder.define("x", signal("y").default(signal("z")))
+        process = normalize(builder.build())
+        analysis = ProcessAnalysis(process)
+        assert not analysis.disjunctive.is_disjunctive()
+        assert analysis.disjunctive.remaining_differences()
+        assert not analysis.is_well_clocked()
+
+    def test_well_clocked_composition_of_producer_consumer(self, producer_consumer):
+        analysis = ProcessAnalysis(producer_consumer["main"])
+        assert analysis.is_well_clocked()

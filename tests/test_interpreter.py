@@ -1,0 +1,191 @@
+"""Tests of the operational interpreter on the primitive constructs of Signal."""
+
+import pytest
+
+from repro.lang.builder import ProcessBuilder, const, signal, tick, when_false, when_true
+from repro.lang.normalize import normalize
+from repro.semantics.interpreter import (
+    ABSENT,
+    TICK,
+    ClockError,
+    SignalInterpreter,
+    UnderdeterminedError,
+    apply_operator,
+)
+from repro.semantics.environment import FlowEnvironment, ReactiveEnvironment
+from repro.semantics.denotational import behavior_from_run, enumerate_behaviors, run_to_completion
+
+
+def build(name, inputs, outputs, definitions, constraints=(), locals_=()):
+    builder = ProcessBuilder(name, inputs=inputs, outputs=outputs)
+    if locals_:
+        builder.local(*locals_)
+    for target, expression in definitions:
+        builder.define(target, expression)
+    for clocks in constraints:
+        builder.constrain(*clocks)
+    return normalize(builder.build())
+
+
+class TestPrimitives:
+    def test_functional_equation_is_synchronous(self):
+        process = build("add", ["a", "b"], ["x"], [("x", signal("a") + signal("b"))])
+        interpreter = SignalInterpreter(process)
+        result = interpreter.step({"a": 2, "b": 3})
+        assert result.present("x") and result.value("x") == 5
+        silent = interpreter.step({"a": ABSENT, "b": ABSENT})
+        assert not silent.present("x")
+
+    def test_functional_equation_rejects_partial_presence(self):
+        process = build("add", ["a", "b"], ["x"], [("x", signal("a") + signal("b"))])
+        interpreter = SignalInterpreter(process)
+        with pytest.raises(ClockError):
+            interpreter.step({"a": 2, "b": ABSENT})
+
+    def test_delay_holds_previous_value(self):
+        process = build("delay", ["a"], ["x"], [("x", signal("a").pre(0))])
+        interpreter = SignalInterpreter(process)
+        assert interpreter.step({"a": 5}).value("x") == 0
+        assert interpreter.step({"a": 7}).value("x") == 5
+        assert interpreter.step({"a": ABSENT}).present("x") is False
+        assert interpreter.step({"a": 9}).value("x") == 7
+
+    def test_sampling_presence_rules(self):
+        process = build("sample", ["y", "c"], ["x"], [("x", signal("y").when(signal("c")))])
+        interpreter = SignalInterpreter(process)
+        assert interpreter.step({"y": 4, "c": True}).value("x") == 4
+        assert not interpreter.step({"y": 4, "c": False}).present("x")
+        assert not interpreter.step({"y": 4, "c": ABSENT}).present("x")
+        assert not interpreter.step({"y": ABSENT, "c": True}).present("x")
+
+    def test_merge_prefers_first_operand(self):
+        process = build(
+            "merge", ["y", "z"], ["x"], [("x", signal("y").default(signal("z")))]
+        )
+        interpreter = SignalInterpreter(process)
+        assert interpreter.step({"y": 1, "z": 2}).value("x") == 1
+        assert interpreter.step({"y": ABSENT, "z": 2}).value("x") == 2
+        assert not interpreter.step({"y": ABSENT, "z": ABSENT}).present("x")
+
+    def test_clock_constraint_propagates_presence(self):
+        process = build(
+            "gate",
+            ["c"],
+            ["x"],
+            [("x", const(1) + signal("x").pre(0))],
+            constraints=[(tick("x"), when_true("c"))],
+        )
+        interpreter = SignalInterpreter(process)
+        assert interpreter.step({"c": True}).value("x") == 1
+        assert not interpreter.step({"c": False}).present("x")
+        assert interpreter.step({"c": True}).value("x") == 2
+
+    def test_clock_constraint_violation_is_detected(self):
+        process = build(
+            "sync2",
+            ["a", "b"],
+            ["x"],
+            [("x", signal("a") + 0)],
+            constraints=[(tick("a"), tick("b"))],
+        )
+        interpreter = SignalInterpreter(process)
+        with pytest.raises(ClockError):
+            interpreter.step({"a": 1, "b": ABSENT}, default_absent=True)
+
+    def test_assume_tick_forces_presence_without_value(self):
+        process = build(
+            "counter",
+            [],
+            ["x"],
+            [("x", const(1) + signal("x").pre(0))],
+        )
+        interpreter = SignalInterpreter(process)
+        result = interpreter.step(assume={"x": TICK})
+        assert result.value("x") == 1
+        result = interpreter.step(assume={"x": TICK})
+        assert result.value("x") == 2
+
+    def test_unknown_signal_rejected(self):
+        process = build("id", ["a"], ["x"], [("x", signal("a"))])
+        interpreter = SignalInterpreter(process)
+        with pytest.raises(KeyError):
+            interpreter.step({"nope": 1})
+
+    def test_try_step_returns_none_and_preserves_state(self):
+        process = build("delay", ["a"], ["x"], [("x", signal("a").pre(0))])
+        interpreter = SignalInterpreter(process)
+        interpreter.step({"a": 3})
+        snapshot = interpreter.snapshot_state()
+        process_sync = build(
+            "sync2",
+            ["a", "b"],
+            ["x"],
+            [("x", signal("a") + 0)],
+            constraints=[(tick("a"), tick("b"))],
+        )
+        bad = SignalInterpreter(process_sync)
+        assert bad.try_step({"a": 1, "b": ABSENT}) is None
+        assert interpreter.snapshot_state() == snapshot
+
+    def test_operator_evaluation(self):
+        assert apply_operator("+", (2, 3)) == 5
+        assert apply_operator("/=", (2, 3)) is True
+        assert apply_operator("and", (True, False)) is False
+        assert apply_operator("not", (False,)) is True
+        with pytest.raises(ValueError):
+            apply_operator("??", (1, 2))
+
+
+class TestPaperFilterTrace:
+    def test_filter_emits_on_changes(self, filter_normalized):
+        """Section 2's worked trace: y = 1 0 0 1 1 0 gives x at instants 2, 4, 6."""
+        interpreter = SignalInterpreter(filter_normalized)
+        stream = [True, False, False, True, True, False]
+        emissions = []
+        for index, value in enumerate(stream, start=1):
+            result = interpreter.step({"y": value})
+            if result.present("x"):
+                emissions.append(index)
+                assert result.value("x") is True
+        assert emissions == [2, 4, 6]
+
+
+class TestEnvironmentsAndRuns:
+    def test_reactive_environment_completes_absences(self):
+        environment = ReactiveEnvironment(["a", "b"], [{"a": 1}, {"b": 2}])
+        first = environment.instant(0)
+        assert first["a"] == 1 and first["b"] is ABSENT
+
+    def test_reactive_environment_rejects_unknown_signals(self):
+        with pytest.raises(ValueError):
+            ReactiveEnvironment(["a"], [{"b": 1}])
+
+    def test_flow_environment_pop_and_push_back(self):
+        flows = FlowEnvironment({"a": [1, 2]})
+        assert flows.peek("a") == 1
+        assert flows.pop("a") == 1
+        flows.push_back("a", 1)
+        assert flows.pop("a") == 1
+        assert flows.pop("a") == 2
+        assert flows.exhausted()
+
+    def test_run_to_completion_and_behavior(self, filter_normalized):
+        environment = ReactiveEnvironment(
+            ["y"], [{"y": True}, {"y": False}, {"y": False}, {"y": True}]
+        )
+        results = run_to_completion(filter_normalized, environment)
+        behavior = behavior_from_run(results, ["x", "y"])
+        assert behavior["y"].values == (True, False, False, True)
+        assert behavior["x"].values == (True, True)
+
+    def test_enumerate_behaviors_filter_is_deterministic(self, filter_normalized):
+        process = enumerate_behaviors(
+            filter_normalized, {"y": [True, False]}, signals=["x", "y"]
+        )
+        assert len(process.flow_classes()) == 1
+
+    def test_enumerate_behaviors_respects_max_behaviors(self, filter_normalized):
+        process = enumerate_behaviors(
+            filter_normalized, {"y": [True, False, True]}, max_behaviors=1
+        )
+        assert len(process) <= 1

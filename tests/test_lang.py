@@ -1,0 +1,213 @@
+"""Unit tests for the Signal front-end: builder, normalization, types, validation."""
+
+import pytest
+
+from repro.lang.ast import (
+    BinaryOp,
+    ClockConstraint,
+    ClockOf,
+    ClockTrue,
+    Composition,
+    Const,
+    Default,
+    Definition,
+    Pre,
+    Ref,
+    Restriction,
+    When,
+    compose,
+)
+from repro.lang.builder import ProcessBuilder, const, signal, tick, when_false, when_true
+from repro.lang.normalize import (
+    ClockEquation,
+    DelayEquation,
+    FunctionEquation,
+    MergeEquation,
+    NormalizedProcess,
+    SamplingEquation,
+    normalize,
+)
+from repro.lang.validate import ValidationError, validate_process
+from repro.library.basic import filter_process
+from repro.library.producer_consumer import consumer_process, main_process, registry
+
+
+class TestAST:
+    def test_free_signals_of_expressions(self):
+        expression = Default(When(Ref("y"), Ref("c")), Pre(Ref("z"), 0))
+        assert expression.free_signals() == {"y", "c", "z"}
+
+    def test_free_signals_of_statements(self):
+        statement = Definition("x", BinaryOp("+", Ref("a"), Const(1)))
+        assert statement.free_signals() == {"x", "a"}
+        assert statement.defined_signals() == {"x"}
+
+    def test_restriction_hides_signals(self):
+        inner = Definition("x", Ref("y"))
+        restricted = Restriction(inner, ("y",))
+        assert restricted.free_signals() == {"x"}
+
+    def test_compose_flattens(self):
+        one = Definition("x", Ref("a"))
+        two = Definition("y", Ref("b"))
+        three = Definition("z", Ref("c"))
+        combined = compose(compose(one, two), three)
+        assert isinstance(combined, Composition)
+        assert len(combined.statements) == 3
+
+    def test_clock_constraint_requires_two_clocks(self):
+        with pytest.raises(ValueError):
+            ClockConstraint((ClockOf("x"),))
+
+
+class TestBuilder:
+    def test_operator_wrappers(self):
+        expression = (signal("a") + 1).node
+        assert isinstance(expression, BinaryOp) and expression.operator == "+"
+        assert isinstance(signal("a").ne(signal("b")).node, BinaryOp)
+        assert isinstance(signal("a").pre(0).node, Pre)
+        assert isinstance(const(True).when("c").node, When)
+        assert isinstance(signal("a").default(1).node, Default)
+
+    def test_builder_produces_definition_with_locals(self):
+        builder = ProcessBuilder("p", inputs=["a"], outputs=["b"])
+        builder.local("tmp")
+        builder.define("tmp", signal("a") + 1)
+        builder.define("b", signal("tmp") * 2)
+        definition = builder.build()
+        assert definition.inputs == ("a",)
+        assert definition.outputs == ("b",)
+        assert "tmp" in definition.locals
+
+    def test_builder_requires_equations(self):
+        with pytest.raises(ValueError):
+            ProcessBuilder("empty").build()
+
+    def test_synchronize_builds_clock_constraint(self):
+        builder = ProcessBuilder("p", inputs=["a", "b"], outputs=["c"])
+        builder.synchronize("a", "b")
+        builder.define("c", signal("a") + signal("b"))
+        definition = builder.build()
+        assert any(isinstance(node, ClockConstraint) for node in definition.body.statements)
+
+
+class TestNormalization:
+    def test_filter_normalizes_to_three_equations(self):
+        normalized = normalize(filter_process())
+        kinds = [type(equation) for equation in normalized.equations]
+        assert kinds.count(DelayEquation) == 1
+        assert kinds.count(SamplingEquation) == 1
+        assert kinds.count(FunctionEquation) == 1
+
+    def test_nested_expressions_create_fresh_locals(self):
+        builder = ProcessBuilder("nested", inputs=["a", "b"], outputs=["x"])
+        builder.define("x", (signal("a") + signal("b")).when(signal("a").gt(0)))
+        normalized = normalize(builder.build())
+        assert len(normalized.equations) == 3
+        assert any(name.startswith("_x") for name in normalized.locals)
+
+    def test_constant_default_adopts_result_clock(self):
+        """``x default 1``: the constant branch must be synchronized with the result."""
+        normalized = normalize(consumer_process())
+        clock_equations = [eq for eq in normalized.equations if isinstance(eq, ClockEquation)]
+        merge_targets = [eq.target for eq in normalized.equations if isinstance(eq, MergeEquation)]
+        assert merge_targets
+        assert any(
+            isinstance(eq.right, ClockOf) and eq.right.name in merge_targets
+            for eq in clock_equations
+        )
+
+    def test_cell_expansion(self):
+        builder = ProcessBuilder("cellp", inputs=["y", "c"], outputs=["x"])
+        builder.define("x", signal("y").cell(signal("c"), 0))
+        normalized = normalize(builder.build())
+        assert any(isinstance(eq, DelayEquation) for eq in normalized.equations)
+        assert any(isinstance(eq, MergeEquation) for eq in normalized.equations)
+        assert any(isinstance(eq, ClockEquation) for eq in normalized.equations)
+
+    def test_instantiation_inlines_and_renames_locals(self):
+        normalized = normalize(main_process(), registry())
+        # the producer's and consumer's internal delays are present, renamed apart
+        delay_targets = {eq.target for eq in normalized.equations if isinstance(eq, DelayEquation)}
+        assert len(delay_targets) == 3
+        assert all(target not in ("u", "v", "x") for target in delay_targets)
+
+    def test_instantiation_unknown_process_raises(self):
+        with pytest.raises(KeyError):
+            normalize(main_process(), {})
+
+    def test_instantiation_arity_mismatch(self):
+        builder = ProcessBuilder("bad", inputs=["a"], outputs=["u"])
+        builder.instantiate("producer", ["a", "a"], ["u"])
+        with pytest.raises(ValueError):
+            normalize(builder.build(), registry())
+
+    def test_type_inference(self):
+        normalized = normalize(filter_process())
+        assert normalized.types["y"] == "bool"
+        assert normalized.types["x"] == "bool"
+        consumer = normalize(consumer_process())
+        assert consumer.types["b"] == "bool"
+        assert consumer.types["v"] == "num"
+        assert consumer.types["x"] == "num"
+
+    def test_state_signals(self):
+        normalized = normalize(filter_process())
+        assert normalized.state_signals() == ("x_prev",)
+
+    def test_compose_merges_interfaces(self):
+        from repro.library.basic import filter_merge_composition
+
+        suite = filter_merge_composition()
+        composition = suite["composition"]
+        assert "x" in composition.outputs  # produced by the filter
+        assert "y" in composition.inputs
+        assert set(composition.inputs).isdisjoint(set(composition.outputs))
+
+    def test_conflicting_type_evidence_terminates(self):
+        """Composing processes that reuse a name with different types must not loop.
+
+        The filter gives ``x`` a boolean type, the producer a numeric one;
+        type inference keeps the first concrete type instead of oscillating.
+        """
+        from repro.library.basic import filter_merge_composition
+        from repro.library.producer_consumer import normalized_suite
+
+        conflicting = filter_merge_composition()["composition"].compose(
+            normalized_suite()["producer"]
+        )
+        assert conflicting.types["x"] in ("bool", "num")
+
+    def test_hide_moves_signals_to_locals(self):
+        normalized = normalize(filter_process())
+        hidden = normalized.hide(["x"])
+        assert "x" not in hidden.outputs
+        assert "x" in hidden.locals
+
+
+class TestValidation:
+    def test_filter_is_valid(self):
+        assert validate_process(filter_process()) is not None
+
+    def test_double_definition_is_reported(self):
+        builder = ProcessBuilder("dup", inputs=["a"], outputs=["x"])
+        builder.define("x", signal("a"))
+        builder.define("x", signal("a") + 1)
+        with pytest.raises(ValidationError) as excinfo:
+            validate_process(builder.build())
+        assert "defined by 2 equations" in str(excinfo.value)
+
+    def test_missing_output_definition_is_reported(self):
+        builder = ProcessBuilder("missing", inputs=["a"], outputs=["x", "y"])
+        builder.define("x", signal("a"))
+        with pytest.raises(ValidationError) as excinfo:
+            validate_process(builder.build())
+        assert "'y'" in str(excinfo.value)
+
+    def test_defined_input_is_reported(self):
+        builder = ProcessBuilder("bad_input", inputs=["a"], outputs=["x"])
+        builder.define("a", const(1))
+        builder.define("x", signal("a"))
+        with pytest.raises(ValidationError) as excinfo:
+            validate_process(builder.build())
+        assert "input signal 'a'" in str(excinfo.value)

@@ -1,0 +1,198 @@
+"""Unit tests for behaviors, reactions and the model-of-computation equivalences."""
+
+import pytest
+
+from repro.mocc.behaviors import (
+    Behavior,
+    clock_equivalent,
+    flow_equivalent,
+    is_relaxation,
+    is_stretching,
+)
+from repro.mocc.processes import (
+    DenotationalProcess,
+    asynchronous_composition,
+    behaviors_from_reaction_sequences,
+    synchronous_composition,
+)
+from repro.mocc.reactions import Reaction, concatenate, independent, merge_reactions
+from repro.mocc.signals import SignalTrace
+
+
+def behavior(rows):
+    return Behavior.from_value_rows(rows)
+
+
+class TestBehavior:
+    def test_domain_and_restrict(self):
+        b = behavior({"x": {0: 1}, "y": {0: 2, 1: 3}})
+        assert b.domain() == {"x", "y"}
+        assert b.restrict(["x"]).domain() == {"x"}
+        assert b.hide(["x"]).domain() == {"y"}
+
+    def test_union_requires_agreement_on_shared(self):
+        left = behavior({"x": {0: 1}})
+        right = behavior({"x": {0: 1}, "y": {0: 2}})
+        assert left.union(right).domain() == {"x", "y"}
+        conflicting = behavior({"x": {0: 99}})
+        with pytest.raises(ValueError):
+            left.union(conflicting)
+
+    def test_tags_collects_all_signals(self):
+        b = behavior({"x": {0: 1, 4: 2}, "y": {2: 3}})
+        assert b.tags() == (0, 2, 4)
+
+    def test_prefix_limits_instants(self):
+        b = behavior({"x": {0: 1, 4: 2}, "y": {2: 3}})
+        prefix = b.prefix(2)
+        assert prefix.tags() == (0, 2)
+
+    def test_canonical_relabels_by_rank(self):
+        b = behavior({"x": {10: 1}, "y": {5: 2, 20: 3}})
+        canonical = b.canonical()
+        assert canonical.tags() == (0, 1, 2)
+        assert canonical["x"].tags == (1,)
+
+    def test_empty_behavior(self):
+        b = Behavior.empty(["x", "y"])
+        assert b.is_empty()
+        assert b.length() == 0
+
+
+class TestEquivalences:
+    def test_clock_equivalence_paper_example(self):
+        """The stretching example of Section 2.1."""
+        left = behavior({"y": {1: 1, 2: 0, 3: 0}, "x": {2: 1}})
+        right = behavior({"y": {10: 1, 30: 0, 50: 0}, "x": {30: 1}})
+        assert clock_equivalent(left, right)
+
+    def test_clock_equivalence_fails_on_different_interleaving(self):
+        left = behavior({"y": {1: 1, 2: 0}, "x": {2: 1}})
+        right = behavior({"y": {1: 1, 2: 0}, "x": {1: 1}})
+        assert not clock_equivalent(left, right)
+
+    def test_flow_equivalence_paper_example(self):
+        """The relaxation example of Section 2.1: same flows, different synchronization."""
+        left = behavior({"y": {1: 1, 2: 0, 3: 0}, "x": {2: 1}})
+        right = behavior({"y": {1: 1, 2: 0, 3: 0}, "x": {1: 1}})
+        assert flow_equivalent(left, right)
+        assert not clock_equivalent(left, right)
+
+    def test_flow_equivalence_requires_same_values(self):
+        left = behavior({"x": {0: 1, 1: 2}})
+        right = behavior({"x": {0: 2, 1: 1}})
+        assert not flow_equivalent(left, right)
+
+    def test_stretching_requires_common_monotone_relabelling(self):
+        base = behavior({"y": {0: 1, 1: 0}, "x": {1: 1}})
+        stretched = behavior({"y": {0: 1, 5: 0}, "x": {5: 1}})
+        assert is_stretching(base, stretched)
+
+    def test_stretching_requires_tags_not_to_decrease(self):
+        base = behavior({"y": {5: 1}})
+        earlier = behavior({"y": {0: 1}})
+        assert not is_stretching(base, earlier)
+        assert is_stretching(earlier, base)
+
+    def test_relaxation_is_per_signal(self):
+        base = behavior({"y": {0: 1, 1: 0}, "x": {1: 7}})
+        relaxed = behavior({"y": {0: 1, 2: 0}, "x": {5: 7}})
+        assert is_relaxation(base, relaxed)
+
+    def test_clock_equivalence_requires_same_domain(self):
+        assert not clock_equivalent(behavior({"x": {0: 1}}), behavior({"y": {0: 1}}))
+
+
+class TestReactions:
+    def test_independent_reactions(self):
+        domain = ("x", "y", "z")
+        left = Reaction(domain, {"x": 1})
+        right = Reaction(domain, {"y": 2})
+        overlapping = Reaction(domain, {"x": 3})
+        assert independent(left, right)
+        assert not independent(left, overlapping)
+
+    def test_merge_reactions(self):
+        domain = ("x", "y")
+        merged = merge_reactions(Reaction(domain, {"x": 1}), Reaction(domain, {"y": 2}))
+        assert merged.present_signals() == {"x", "y"}
+        assert merged.value("x") == 1 and merged.value("y") == 2
+
+    def test_merge_rejects_overlap(self):
+        domain = ("x",)
+        with pytest.raises(ValueError):
+            merge_reactions(Reaction(domain, {"x": 1}), Reaction(domain, {"x": 2}))
+
+    def test_silent_reaction(self):
+        reaction = Reaction(("x", "y"))
+        assert reaction.is_silent()
+        assert reaction.absent_signals() == {"x", "y"}
+
+    def test_reaction_rejects_foreign_signals(self):
+        with pytest.raises(ValueError):
+            Reaction(("x",), {"y": 1})
+
+    def test_concatenate_appends_after_behavior(self):
+        base = behavior({"x": {0: 1}, "y": {0: 2}})
+        extended = concatenate(base, Reaction(("x", "y"), {"x": 5}))
+        assert extended["x"].values == (1, 5)
+        assert extended["y"].values == (2,)
+
+    def test_concatenate_paper_example(self):
+        """The concatenation example of Section 2.1."""
+        first = behavior({"y": {1: 1}, "x": {}})
+        extended = concatenate(first, Reaction(("x", "y"), {"y": 0, "x": 1}), tag=2)
+        assert extended["y"].values == (1, 0)
+        assert extended["x"].tags == (2,)
+
+    def test_as_behavior(self):
+        reaction = Reaction(("x", "y"), {"x": 4})
+        as_behavior = reaction.as_behavior(7)
+        assert as_behavior["x"].tags == (7,)
+        assert len(as_behavior["y"]) == 0
+
+
+class TestDenotationalProcesses:
+    def test_duplicate_behaviors_are_collapsed(self):
+        b = behavior({"x": {0: 1}})
+        process = DenotationalProcess(["x"], [b, b])
+        assert len(process) == 1
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DenotationalProcess(["x"], [behavior({"y": {0: 1}})])
+
+    def test_synchronous_composition_glues_on_identical_interface(self):
+        left = DenotationalProcess(["x", "s"], [behavior({"x": {0: 1}, "s": {0: 9}})])
+        right = DenotationalProcess(["x", "t"], [behavior({"x": {0: 1}, "t": {1: 3}})])
+        composed = synchronous_composition(left, right)
+        assert len(composed) == 1
+        assert composed.behaviors()[0].domain() == {"x", "s", "t"}
+
+    def test_synchronous_composition_drops_disagreeing_behaviors(self):
+        left = DenotationalProcess(["x"], [behavior({"x": {0: 1}})])
+        right = DenotationalProcess(["x"], [behavior({"x": {0: 2}})])
+        assert len(synchronous_composition(left, right)) == 0
+
+    def test_asynchronous_composition_glues_on_flow_equivalence(self):
+        left = DenotationalProcess(["x"], [behavior({"x": {0: 1, 1: 2}})])
+        right = DenotationalProcess(["x", "y"], [behavior({"x": {3: 1, 9: 2}, "y": {5: 0}})])
+        composed = asynchronous_composition(left, right)
+        assert len(composed) == 1
+
+    def test_flow_classes(self):
+        process = DenotationalProcess(
+            ["x"],
+            [behavior({"x": {0: 1, 1: 2}}), behavior({"x": {4: 1, 9: 2}}), behavior({"x": {0: 3}})],
+        )
+        assert len(process.flow_classes()) == 2
+
+    def test_behaviors_from_reaction_sequences(self):
+        process = behaviors_from_reaction_sequences(
+            ["x", "y"],
+            [
+                [Reaction(("x", "y"), {"x": 1}), Reaction(("x", "y"), {"y": 2})],
+                [Reaction(("x", "y"), {"x": 1, "y": 2})],
+            ],
+        )
+        assert len(process) == 2

@@ -1,0 +1,122 @@
+"""Unit tests for tags, chains and signal traces."""
+
+import pytest
+
+from repro.mocc.signals import SignalTrace
+from repro.mocc.tags import TagSupply, chain_of, is_chain
+
+
+class TestTags:
+    def test_is_chain_accepts_strictly_increasing(self):
+        assert is_chain((1, 2, 5, 9))
+
+    def test_is_chain_rejects_duplicates(self):
+        assert not is_chain((1, 2, 2, 3))
+
+    def test_is_chain_rejects_unordered(self):
+        assert not is_chain((3, 1, 2))
+
+    def test_empty_and_singleton_are_chains(self):
+        assert is_chain(())
+        assert is_chain((7,))
+
+    def test_chain_of_sorts_and_deduplicates(self):
+        assert chain_of([5, 1, 3, 1]) == (1, 3, 5)
+
+    def test_tag_supply_is_strictly_increasing(self):
+        supply = TagSupply()
+        produced = [supply.fresh() for _ in range(10)]
+        assert is_chain(tuple(produced))
+
+    def test_tag_supply_fresh_after(self):
+        supply = TagSupply()
+        tag = supply.fresh_after(100)
+        assert tag > 100
+        assert supply.fresh() > tag
+
+    def test_tag_supply_records_produced(self):
+        supply = TagSupply()
+        first = supply.fresh()
+        second = supply.fresh()
+        assert supply.produced() == (first, second)
+
+
+class TestSignalTrace:
+    def test_from_values_spaces_tags(self):
+        trace = SignalTrace.from_values([10, 20, 30])
+        assert trace.tags == (0, 1, 2)
+        assert trace.values == (10, 20, 30)
+
+    def test_from_pairs_rejects_duplicate_tags(self):
+        with pytest.raises(ValueError):
+            SignalTrace.from_pairs([(0, 1), (0, 2)])
+
+    def test_lookup_and_get(self):
+        trace = SignalTrace({3: "a", 7: "b"})
+        assert trace[3] == "a"
+        assert trace.get(7) == "b"
+        assert trace.get(5) is None
+        with pytest.raises(KeyError):
+            trace[5]
+
+    def test_min_max_tags(self):
+        trace = SignalTrace({3: 1, 9: 2, 5: 3})
+        assert trace.min_tag() == 3
+        assert trace.max_tag() == 9
+
+    def test_min_tag_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            SignalTrace.empty().min_tag()
+
+    def test_relabel_preserves_values(self):
+        trace = SignalTrace({1: "a", 4: "b"})
+        shifted = trace.relabel(lambda tag: tag + 10)
+        assert shifted.tags == (11, 14)
+        assert shifted.values == ("a", "b")
+
+    def test_relabel_rejects_non_injective_mapping(self):
+        trace = SignalTrace({1: "a", 4: "b"})
+        with pytest.raises(ValueError):
+            trace.relabel(lambda tag: 0)
+
+    def test_restrict_and_before(self):
+        trace = SignalTrace({1: "a", 2: "b", 5: "c"})
+        assert trace.restrict_to({2, 5}).tags == (2, 5)
+        assert trace.before(5).tags == (1, 2)
+
+    def test_value_at_or_before(self):
+        trace = SignalTrace({1: "a", 4: "b"})
+        assert trace.value_at_or_before(0, default="init") == "init"
+        assert trace.value_at_or_before(3) == "a"
+        assert trace.value_at_or_before(9) == "b"
+
+    def test_append_requires_later_tag(self):
+        trace = SignalTrace({2: 1})
+        appended = trace.append(5, 2)
+        assert appended.tags == (2, 5)
+        with pytest.raises(ValueError):
+            trace.append(1, 0)
+
+    def test_concat_requires_disjoint_later_tags(self):
+        early = SignalTrace({0: "a", 1: "b"})
+        late = SignalTrace({2: "c"})
+        assert early.concat(late).values == ("a", "b", "c")
+        with pytest.raises(ValueError):
+            late.concat(early)
+
+    def test_same_flow_ignores_tags(self):
+        left = SignalTrace({0: 1, 2: 2})
+        right = SignalTrace({5: 1, 9: 2})
+        assert left.same_flow(right)
+        assert not left.same_flow(SignalTrace({0: 2, 2: 1}))
+
+    def test_equality_and_hash(self):
+        left = SignalTrace({0: 1, 2: 2})
+        right = SignalTrace({0: 1, 2: 2})
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left != SignalTrace({0: 1})
+
+    def test_iteration_order(self):
+        trace = SignalTrace({5: "b", 1: "a"})
+        assert list(trace) == [(1, "a"), (5, "b")]

@@ -1,0 +1,158 @@
+"""Tests for the textual Signal parser and the pretty printer round-trip."""
+
+import pytest
+
+from repro.lang.ast import ClockConstraint, Definition, Instantiation, Restriction
+from repro.lang.normalize import normalize
+from repro.lang.parser import ParseError, parse_process, parse_program
+from repro.lang.printer import format_process
+from repro.library.basic import filter_process
+from repro.properties.compilable import ProcessAnalysis
+from repro.semantics.interpreter import SignalInterpreter
+
+FILTER_SOURCE = """
+process filter (y) returns (x) {
+  local z;
+  x := true when (y /= z);
+  z := y pre true;
+}
+"""
+
+BUFFER_SOURCE = """
+# the one-place buffer of Section 3
+process buffer (y) returns (x) {
+  local s, t, r, m;
+  s := t pre true;
+  t := not s;
+  ^y = [not t];
+  m := r pre false;
+  r := y default m;
+  ^r = ^t;
+  x := r when t;
+}
+"""
+
+PRODUCER_CONSUMER_SOURCE = """
+process producer (a) returns (u, x) {
+  ^u = [a];
+  u := 1 + (u pre 0);
+  ^x = [not a];
+  x := 1 + (x pre 0);
+}
+
+process consumer (b, x) returns (v) {
+  ^v = ^b;
+  ^x = [b];
+  v := (v pre 0) + (x default 1);
+}
+
+process main (a, b) returns (u, v) {
+  local x;
+  (u, x) := producer(a);
+  (v) := consumer(b, x);
+}
+"""
+
+
+class TestParser:
+    def test_parse_filter(self):
+        definition = parse_process(FILTER_SOURCE)
+        assert definition.name == "filter"
+        assert definition.inputs == ("y",)
+        assert definition.outputs == ("x",)
+        assert "z" in definition.locals
+
+    def test_parsed_filter_behaves_like_builder_filter(self):
+        parsed = normalize(parse_process(FILTER_SOURCE))
+        built = normalize(filter_process())
+        parsed_interpreter = SignalInterpreter(parsed)
+        built_interpreter = SignalInterpreter(built)
+        stream = [True, False, False, True, True, False]
+        for value in stream:
+            parsed_result = parsed_interpreter.step({"y": value})
+            built_result = built_interpreter.step({"y": value})
+            assert parsed_result.present("x") == built_result.present("x")
+
+    def test_parse_buffer_and_analyze(self):
+        definition = parse_process(BUFFER_SOURCE)
+        analysis = ProcessAnalysis(normalize(definition))
+        assert analysis.is_compilable()
+        assert analysis.is_hierarchic()
+
+    def test_parse_program_with_instantiations(self):
+        program = parse_program(PRODUCER_CONSUMER_SOURCE)
+        assert set(program) == {"producer", "consumer", "main"}
+        main = program["main"]
+        instantiations = [
+            statement
+            for statement in main.body.body.statements
+            for statement in [statement]
+            if isinstance(statement, Instantiation)
+        ] if isinstance(main.body, Restriction) else []
+        assert len(instantiations) == 2
+        normalized = normalize(main, program)
+        assert set(normalized.inputs) == {"a", "b"}
+        assert set(normalized.outputs) == {"u", "v"}
+
+    def test_clock_constraint_parsing(self):
+        definition = parse_process(
+            "process sync (a, b) returns (c) { ^a = ^b; c := a and b; }"
+        )
+        constraints = [
+            statement
+            for statement in (
+                definition.body.statements
+                if hasattr(definition.body, "statements")
+                else [definition.body]
+            )
+            if isinstance(statement, ClockConstraint)
+        ]
+        assert len(constraints) == 1
+
+    def test_comments_are_ignored(self):
+        definition = parse_process(
+            "process p (a) returns (x) {\n  # a comment\n  x := a; % another\n}"
+        )
+        assert isinstance(definition.body, Definition)
+
+    def test_operator_precedence(self):
+        definition = parse_process(
+            "process p (a, b, c) returns (x) { x := a when b default c; }"
+        )
+        normalized = normalize(definition)
+        # default binds weaker than when: (a when b) default c
+        from repro.lang.normalize import MergeEquation
+
+        merges = [eq for eq in normalized.equations if isinstance(eq, MergeEquation)]
+        assert len(merges) == 1
+        assert merges[0].target == "x"
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_process("process broken (a) returns (x) {\n  x ::= a;\n}")
+        assert "line 2" in str(excinfo.value)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_process("process p (a) returns (x) { x := a ? 1; }")
+
+    def test_multiple_processes_rejected_by_parse_process(self):
+        with pytest.raises(ParseError):
+            parse_process(PRODUCER_CONSUMER_SOURCE)
+
+
+class TestPrinterRoundTrip:
+    @pytest.mark.parametrize("source", [FILTER_SOURCE, BUFFER_SOURCE])
+    def test_print_then_reparse_preserves_structure(self, source):
+        original = parse_process(source)
+        printed = format_process(original)
+        reparsed = parse_process(printed)
+        assert reparsed.name == original.name
+        assert reparsed.inputs == original.inputs
+        assert reparsed.outputs == original.outputs
+        assert len(normalize(reparsed).equations) == len(normalize(original).equations)
+
+    def test_print_builder_process(self):
+        printed = format_process(filter_process())
+        reparsed = parse_process(printed)
+        assert reparsed.name == "filter"

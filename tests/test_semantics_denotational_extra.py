@@ -1,0 +1,77 @@
+"""Extra coverage for the bounded denotational semantics and behavior assembly."""
+
+import pytest
+
+from repro.lang.builder import ProcessBuilder, signal, tick, when_true
+from repro.lang.normalize import normalize
+from repro.mocc.behaviors import flow_equivalent
+from repro.semantics.denotational import behavior_from_run, enumerate_behaviors, run_to_completion
+from repro.semantics.environment import ReactiveEnvironment
+from repro.semantics.interpreter import SignalInterpreter
+
+
+@pytest.fixture(scope="module")
+def adder():
+    builder = ProcessBuilder("adder", inputs=["a", "b"], outputs=["x"])
+    builder.define("x", signal("a") + signal("b"))
+    return normalize(builder.build())
+
+
+@pytest.fixture(scope="module")
+def gated_counter():
+    builder = ProcessBuilder("gated", inputs=["c"], outputs=["n"])
+    builder.constrain(tick("n"), when_true("c"))
+    builder.define("n", signal("n").pre(0) + 1)
+    return normalize(builder.build())
+
+
+class TestBehaviorAssembly:
+    def test_silent_instants_are_dropped_when_requested(self, gated_counter):
+        environment = ReactiveEnvironment(["c"], [{"c": False}, {"c": True}, {"c": False}, {"c": True}])
+        results = run_to_completion(gated_counter, environment)
+        with_silent = behavior_from_run(results, ["n"])
+        without_silent = behavior_from_run(results, ["n"], drop_silent=True)
+        assert with_silent["n"].tags == (1, 3)
+        assert without_silent["n"].tags == (0, 1)
+        assert with_silent["n"].values == without_silent["n"].values == (1, 2)
+
+    def test_empty_run_produces_empty_behavior(self):
+        assert behavior_from_run([], ["x"]).is_empty()
+
+
+class TestEnumeration:
+    def test_synchronous_adder_has_single_interleaving(self, adder):
+        process = enumerate_behaviors(adder, {"a": [1, 2], "b": [10, 20]}, signals=["a", "b", "x"])
+        # a and b are forced synchronous by the functional equation, so the only
+        # accepted interleaving presents them together
+        assert len(process.flow_classes()) == 1
+        behavior = process.behaviors()[0]
+        assert behavior["x"].values == (11, 22)
+
+    def test_enumeration_respects_clock_gates(self, gated_counter):
+        process = enumerate_behaviors(gated_counter, {"c": [True, False, True]}, signals=["c", "n"])
+        for behavior in process:
+            true_count = sum(1 for value in behavior["c"].values if value)
+            assert len(behavior["n"]) == true_count
+
+    def test_behaviors_consume_all_flows_by_default(self, adder):
+        process = enumerate_behaviors(adder, {"a": [1], "b": [2]}, signals=["a", "b", "x"])
+        for behavior in process:
+            assert behavior["a"].values == (1,)
+            assert behavior["b"].values == (2,)
+
+    def test_partial_exploration_when_not_required_to_exhaust(self, adder):
+        process = enumerate_behaviors(
+            adder,
+            {"a": [1, 2, 3], "b": [4]},
+            max_instants=1,
+            require_exhausted=False,
+            signals=["a", "b", "x"],
+        )
+        assert len(process) >= 1
+
+    def test_flows_are_preserved_up_to_equivalence(self, gated_counter):
+        dense = enumerate_behaviors(gated_counter, {"c": [True, True]}, signals=["c", "n"])
+        assert all(
+            flow_equivalent(behavior, behavior) for behavior in dense
+        )

@@ -4,14 +4,14 @@
 * the producer/consumer criterion with its reported constraint ``[¬a] = [b]``;
 * sequential code generation for the three schemes (master clocks, controller,
   concurrent threads) and their execution on the paper's input pattern.
+
+All scenarios go through the :class:`repro.Design` facade.  Criterion
+benchmarks build a fresh session per round (measuring the real cost of the
+static analysis); the execution benchmarks reuse one session, whose cached
+analyses are exactly what the deployment schemes share in practice.
 """
 
-from repro.codegen.concurrent import run_concurrent
-from repro.codegen.controller import synthesize_controller
-from repro.codegen.runtime import StreamIO
-from repro.codegen.sequential import compile_process
-from repro.properties.compilable import ProcessAnalysis
-from repro.properties.composition import check_weakly_hierarchic
+from repro import Design
 
 INPUTS = {"a": [True, False, True, False], "b": [False, True, False, True]}
 EXPECTED_U = [1, 2]
@@ -26,17 +26,25 @@ def test_ltta_criterion(benchmark, paper_processes):
         paper_processes["ltta_bus_stage2"],
         paper_processes["ltta_reader"],
     ]
-    verdict = benchmark(check_weakly_hierarchic, components, None, "ltta")
-    assert verdict.weakly_hierarchic()
-    assert not verdict.endochronous_composition()
+
+    def criterion():
+        return Design(name="ltta", components=components).verify("weakly-hierarchic")
+
+    verdict = benchmark(criterion)
+    assert verdict.holds
+    assert not verdict.report.endochronous_composition()
 
 
 def test_producer_consumer_criterion(benchmark, paper_processes):
     """E13/E14: the criterion on producer|consumer reports the constraint [¬a] = [b]."""
     components = [paper_processes["pc_producer"], paper_processes["pc_consumer"]]
-    verdict = benchmark(check_weakly_hierarchic, components, None, "main")
-    assert verdict.weakly_hierarchic()
-    assert any("[¬a]" in c and "[b]" in c for c in verdict.reported_constraints)
+
+    def criterion():
+        return Design(name="main", components=components).verify("weakly-hierarchic")
+
+    verdict = benchmark(criterion)
+    assert verdict.holds
+    assert any("[¬a]" in c and "[b]" in c for c in verdict.report.reported_constraints)
 
 
 def test_sequential_code_generation(benchmark, paper_processes):
@@ -44,23 +52,26 @@ def test_sequential_code_generation(benchmark, paper_processes):
 
     def generate():
         return (
-            compile_process(paper_processes["buffer"]),
-            compile_process(paper_processes["pc_producer"]),
-            compile_process(paper_processes["pc_consumer"]),
-            compile_process(ProcessAnalysis(paper_processes["pc_main"]), master_clocks=True),
+            Design.from_process(paper_processes["buffer"]).compile("sequential"),
+            Design.from_process(paper_processes["pc_producer"]).compile("sequential"),
+            Design.from_process(paper_processes["pc_consumer"]).compile("sequential"),
+            Design.from_process(paper_processes["pc_main"]).compile(
+                "sequential", master_clocks=True
+            ),
         )
 
-    compiled = benchmark(generate)
-    assert all(item.python_source for item in compiled)
+    deployments = benchmark(generate)
+    assert all(deployment.compiled.python_source for deployment in deployments)
 
 
 def test_master_clock_scheme_execution(benchmark, paper_processes):
     """E13: Section 5.1's scheme (master clocks C_a, C_b) on the paper's input pattern."""
-    compiled = compile_process(ProcessAnalysis(paper_processes["pc_main"]), master_clocks=True)
+    deployment = Design.from_process(paper_processes["pc_main"]).compile(
+        "sequential", master_clocks=True
+    )
 
     def run():
-        compiled.reset()
-        io = StreamIO(
+        return deployment.run(
             {
                 "C_a": [True] * 4,
                 "C_b": [True] * 4,
@@ -68,48 +79,39 @@ def test_master_clock_scheme_execution(benchmark, paper_processes):
                 "b": list(INPUTS["b"]),
             }
         )
-        compiled.run(io)
-        return io
 
-    io = benchmark(run)
-    assert io.output("u") == EXPECTED_U
-    assert io.output("v") == EXPECTED_V
+    flows = benchmark(run)
+    assert flows["u"] == EXPECTED_U
+    assert flows["v"] == EXPECTED_V
 
 
 def test_controller_scheme_execution(benchmark, paper_processes):
     """E14: Section 5.2's synthesized controller on the same input pattern."""
-    producer = compile_process(paper_processes["pc_producer"])
-    consumer = compile_process(paper_processes["pc_consumer"])
-    verdict = check_weakly_hierarchic(
-        [paper_processes["pc_producer"], paper_processes["pc_consumer"]], composition_name="main"
+    design = Design(
+        name="main",
+        components=[paper_processes["pc_producer"], paper_processes["pc_consumer"]],
     )
-    controlled = synthesize_controller([producer, consumer], verdict)
+    deployment = design.compile("controlled")
 
     def run():
-        controlled.reset()
-        io = StreamIO({name: list(values) for name, values in INPUTS.items()})
-        controlled.run(io)
-        return io
+        return deployment.run({name: list(values) for name, values in INPUTS.items()})
 
-    io = benchmark(run)
-    assert io.output("u") == EXPECTED_U
-    assert io.output("v") == EXPECTED_V
+    flows = benchmark(run)
+    assert flows["u"] == EXPECTED_U
+    assert flows["v"] == EXPECTED_V
 
 
 def test_concurrent_scheme_execution(benchmark, paper_processes):
     """E16: the thread + barrier variant produces the same flows."""
-    producer = compile_process(paper_processes["pc_producer"])
-    consumer = compile_process(paper_processes["pc_consumer"])
-    verdict = check_weakly_hierarchic(
-        [paper_processes["pc_producer"], paper_processes["pc_consumer"]], composition_name="main"
+    design = Design(
+        name="main",
+        components=[paper_processes["pc_producer"], paper_processes["pc_consumer"]],
     )
-    controlled = synthesize_controller([producer, consumer], verdict)
+    deployment = design.compile("concurrent")
 
     def run():
-        producer.reset()
-        consumer.reset()
-        return run_concurrent([producer, consumer], controlled.constraints, INPUTS)
+        return deployment.run(INPUTS)
 
-    outputs = benchmark(run)
-    assert outputs.get("u") == EXPECTED_U
-    assert outputs.get("v") == EXPECTED_V
+    flows = benchmark(run)
+    assert flows["u"] == EXPECTED_U
+    assert flows["v"] == EXPECTED_V

@@ -16,27 +16,26 @@ Run with:  python examples/ltta_simulation.py
 
 import random
 
-from repro import check_weakly_hierarchic
+from repro import Design
 from repro.library.ltta import ltta_components, normalized_suite
-from repro.properties.compilable import ProcessAnalysis
 from repro.semantics.interpreter import ABSENT, SignalInterpreter
 
 
 def analyse() -> None:
     components = ltta_components()
+    design = Design(name="ltta", components=list(components.values()))
     print("per-device analysis:")
-    for name, component in components.items():
-        analysis = ProcessAnalysis(component)
+    for analysis in design.component_analyses():
         print(
-            f"  {name:<12} compilable={analysis.is_compilable()}  "
+            f"  {analysis.process.name:<12} compilable={analysis.is_compilable()}  "
             f"roots={analysis.root_count()}  endochronous={analysis.is_hierarchic()}"
         )
-    verdict = check_weakly_hierarchic(list(components.values()), composition_name="ltta")
     print()
-    print(verdict)
+    print(design.verify("weakly-hierarchic"))
     print()
     full = normalized_suite()["ltta"]
-    print(f"hierarchy roots of the whole LTTA: {ProcessAnalysis(full).root_count()} (one per device)")
+    roots = design.context.analysis(full).root_count()
+    print(f"hierarchy roots of the whole LTTA: {roots} (one per device)")
     print()
 
 

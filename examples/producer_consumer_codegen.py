@@ -2,32 +2,31 @@
 """The producer / consumer case study of Section 5: three code generation schemes.
 
 * the *current scheme* (Section 5.1): the composition is made endochronous by
-  adding master-clock inputs ``C_a`` and ``C_b`` that the environment must
-  synchronize;
+  adding master-clock inputs that the environment must synchronize;
 * the *contributed scheme* (Section 5.2): the components are compiled
   separately and a synthesized controller enforces the reported clock
   constraint ``[¬a] = [b]`` by rendez-vous, without touching the interface;
 * the *concurrent scheme*: same controller decisions, but one thread per
   component and barriers at the rendez-vous.
 
-All three produce the same flows on the same inputs — that is isochrony at
-work.
+All three are one ``design.compile(strategy)`` call on the same
+:class:`repro.Design` session — the criterion, the per-component analyses
+and the synthesized constraints are computed once and shared.  All three
+produce the same flows on the same inputs: that is isochrony at work.
 
 Run with:  python examples/producer_consumer_codegen.py
 """
 
-from repro import StreamIO, analyze, check_weakly_hierarchic, compile_process
-from repro.codegen.concurrent import run_concurrent
-from repro.codegen.controller import synthesize_controller
+from repro import Design
 from repro.library.producer_consumer import normalized_suite
 
 
 def main() -> None:
     suite = normalized_suite()
-    producer, consumer, main_process = suite["producer"], suite["consumer"], suite["main"]
+    design = Design(name="main", components=[suite["producer"], suite["consumer"]])
 
-    # -- the compositional criterion ------------------------------------------
-    verdict = check_weakly_hierarchic([producer, consumer], composition_name="main")
+    # -- the compositional criterion, as a structured Verdict ------------------
+    verdict = design.verify("weakly-hierarchic")
     print(verdict)
     print()
 
@@ -42,51 +41,39 @@ def main() -> None:
     }
 
     # -- Section 5.1: current scheme with master clocks -------------------------
-    monolithic = compile_process(analyze(main_process), master_clocks=True)
+    monolithic = design.compile("sequential", master_clocks=True)
     print(f"current scheme adds master clocks: {monolithic.master_clock_inputs}")
-    io_51 = StreamIO(
-        {
-            "C_a": [True] * len(inputs["a"]),
-            "C_b": [True] * len(inputs["b"]),
-            "a": list(inputs["a"]),
-            "b": list(inputs["b"]),
-        }
-    )
-    monolithic.run(io_51)
-    print(f"  u = {io_51.output('u')}")
-    print(f"  v = {io_51.output('v')}")
+    feed_51 = {name: list(values) for name, values in inputs.items()}
+    for master in monolithic.master_clock_inputs:
+        feed_51[master] = [True] * len(inputs["a"])
+    flows_51 = monolithic.run(feed_51)
+    print(f"  u = {flows_51['u']}")
+    print(f"  v = {flows_51['v']}")
     print()
 
     # -- Section 5.2: controller synthesis -----------------------------------------
-    compiled_producer = compile_process(producer)
-    compiled_consumer = compile_process(consumer)
-    controlled = synthesize_controller([compiled_producer, compiled_consumer], verdict)
+    controlled = design.compile("controlled")
     print("synthesized rendez-vous constraints:")
     for constraint in controlled.constraints:
         print(f"  {constraint}")
-    io_52 = StreamIO({name: list(values) for name, values in inputs.items()})
-    controlled.run(io_52)
-    print(f"  u = {io_52.output('u')}")
-    print(f"  v = {io_52.output('v')}")
+    flows_52 = controlled.run(inputs)
+    print(f"  u = {flows_52['u']}")
+    print(f"  v = {flows_52['v']}")
     print()
     print("controlled main loop (C-like listing):")
-    print(controlled.c_listing())
+    print(controlled.listing())
     print()
 
     # -- concurrent scheme ------------------------------------------------------------
-    compiled_producer.reset()
-    compiled_consumer.reset()
-    concurrent_outputs = run_concurrent(
-        [compiled_producer, compiled_consumer], controlled.constraints, inputs
-    )
+    concurrent_flows = design.compile("concurrent").run(inputs)
     print("concurrent (threads + barriers) outputs:")
-    print(f"  u = {concurrent_outputs.get('u')}")
-    print(f"  v = {concurrent_outputs.get('v')}")
+    print(f"  u = {concurrent_flows['u']}")
+    print(f"  v = {concurrent_flows['v']}")
     print()
 
     same = (
-        io_51.output("u") == io_52.output("u") == concurrent_outputs.get("u")
-        and io_51.output("v") == io_52.output("v") == concurrent_outputs.get("v")
+        flows_51["u"] == flows_52["u"] == concurrent_flows["u"]
+        and flows_51["v"] == flows_52["v"] == concurrent_flows["v"]
     )
     print(f"all three schemes produce the same flows: {same}")
 

@@ -1,61 +1,50 @@
 #!/usr/bin/env python3
-"""Quickstart: define a Signal process, analyse it, simulate it, generate code.
+"""Quickstart: one Design session from source text to running code.
 
 This walks through the paper's introductory example — the ``filter`` process
-that emits an event every time its boolean input changes value — and shows
-the three ways of using the library:
+that emits an event every time its boolean input changes value — using the
+:class:`repro.Design` facade, the single entry point for the paper's whole
+pipeline:
 
-1. build a process (programmatically or from text) and inspect its clock
-   hierarchy;
-2. execute it with the interpreter;
-3. generate and run its sequential step function (the paper's transition
-   function).
+1. build a design (from source text, a builder, or process objects) and
+   inspect its clock hierarchy;
+2. ``verify()`` its properties — every answer is a structured Verdict;
+3. ``compile()`` it to a deployment and ``run()`` it on input flows.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import ProcessBuilder, StreamIO, analyze, compile_process, const, signal
-from repro.lang.parser import parse_process
+from repro import Design, SignalInterpreter
 from repro.lang.printer import format_normalized_process
-from repro.semantics.interpreter import SignalInterpreter
 
-
-def build_filter():
-    """The paper's filter: x = true when (y /= z) | z = y pre true."""
-    builder = ProcessBuilder("filter", inputs=["y"], outputs=["x"])
-    builder.local("z")
-    builder.define("x", const(True).when(signal("y").ne(signal("z"))))
-    builder.define("z", signal("y").pre(True))
-    return builder.build()
+FILTER_SOURCE = """
+process filter (y) returns (x) {
+  local z;
+  x := true when (y /= z);
+  z := y pre true;
+}
+"""
 
 
 def main() -> None:
-    # -- 1. analysis -------------------------------------------------------
-    definition = build_filter()
-    analysis = analyze(definition)
+    # -- 1. one session for the whole pipeline --------------------------------
+    design = Design.from_source(FILTER_SOURCE)
     print("normalized process")
-    print(format_normalized_process(analysis.process))
+    print(format_normalized_process(design.composition))
     print()
     print("clock hierarchy (single root => endochronous):")
-    print(analysis.hierarchy.describe())
-    print()
-    print(f"compilable: {analysis.is_compilable()}   hierarchic: {analysis.is_hierarchic()}")
+    print(design.analysis.hierarchy.describe())
     print()
 
-    # the same process, written in the textual Signal-like syntax
-    parsed = parse_process(
-        """
-        process filter (y) returns (x) {
-          local z;
-          x := true when (y /= z);
-          z := y pre true;
-        }
-        """
-    )
-    assert analyze(parsed).is_hierarchic()
+    # -- 2. verification: every answer is a Verdict ----------------------------
+    for prop in ("compilable", "hierarchic", "endochrony", "weak-endochrony"):
+        verdict = design.verify(prop)
+        print(f"  {prop:<16} holds={str(verdict.holds):<5} "
+              f"[{verdict.method}, {verdict.cost}]")
+    print()
 
-    # -- 2. interpretation ---------------------------------------------------
-    interpreter = SignalInterpreter(analysis.process)
+    # the same analysis artefacts back the interpreter...
+    interpreter = SignalInterpreter(design.composition)
     stream = [True, False, False, True, True, False]
     print(f"input flow  y: {stream}")
     emitted = []
@@ -65,16 +54,15 @@ def main() -> None:
     print(f"output x emitted at instants: {' '.join(emitted)}  (paper: t2, t4, t6)")
     print()
 
-    # -- 3. code generation ---------------------------------------------------
-    compiled = compile_process(analysis)
+    # -- 3. ...and code generation: compile() returns a Deployment -------------
+    deployment = design.compile("sequential")
     print("generated step function:")
-    print(compiled.python_source)
-    io = StreamIO({"y": stream})
-    steps = compiled.run(io)
-    print(f"simulated {steps} steps, output flow x = {io.output('x')}")
+    print(deployment.compiled.python_source)
+    flows = deployment.run({"y": stream})
+    print(f"simulated output flow x = {flows['x']}")
     print()
     print("C-like listing (paper, Section 3.6 style):")
-    print(compiled.c_source)
+    print(deployment.listing())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,337 @@
+"""Verification backends: one ``verify(design, prop, method)`` dispatcher.
+
+The paper offers two routes to the same guarantees: the *static* route (the
+clock calculus — compilability, hierarchies, and the weakly hierarchic
+criterion of Definition 12, whose Theorem 1 yields weak endochrony,
+non-blocking and isochrony without exploring any state space) and the
+*model-checking* route (the reaction LTS of the boolean abstraction, either
+checked directly against Definition 2 or through the invariant formulation
+of Section 4.1 that the paper targets at Sigali).
+
+``method="auto"`` encodes the paper's preference: try the static criterion
+first; only when it does not conclude (e.g. a non-hierarchic component) fall
+back to model checking, and say so in the verdict's diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.api.results import Cost, Diagnostic, Verdict, stopwatch
+from repro.mc.symbolic import SymbolicChecker, event_variable, next_variable
+from repro.properties.compilable import verify_compilable, verify_hierarchic
+from repro.properties.composition import verify_weakly_hierarchic
+from repro.properties.endochrony import check_endochrony_on_traces, verify_endochrony
+from repro.properties.isochrony import verify_isochrony
+from repro.properties.nonblocking import verify_non_blocking
+from repro.properties.weak_endochrony import verify_weak_endochrony
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Design
+
+PROPERTIES = (
+    "compilable",
+    "hierarchic",
+    "endochrony",
+    "weak-endochrony",
+    "non-blocking",
+    "isochrony",
+    "weakly-hierarchic",
+)
+
+METHODS = ("auto", "static", "explicit", "symbolic")
+
+_ALIASES = {
+    "weak_endochrony": "weak-endochrony",
+    "weakly_endochronous": "weak-endochrony",
+    "weakly-endochronous": "weak-endochrony",
+    "non_blocking": "non-blocking",
+    "nonblocking": "non-blocking",
+    "deadlock-free": "non-blocking",
+    "endochronous": "endochrony",
+    "isochronous": "isochrony",
+    "weakly_hierarchic": "weakly-hierarchic",
+    "composition": "weakly-hierarchic",
+    "criterion": "weakly-hierarchic",
+}
+
+
+class VerificationError(ValueError):
+    """Raised for unknown properties, unsupported methods or missing options."""
+
+
+def canonical_property(prop: str) -> str:
+    """Resolve alias spellings ('nonblocking', 'weak_endochrony', ...) to the
+    canonical property name; unknown names raise :class:`VerificationError`."""
+    prop = _ALIASES.get(prop, prop)
+    if prop not in PROPERTIES:
+        raise VerificationError(f"unknown property {prop!r}; expected one of {PROPERTIES}")
+    return prop
+
+
+def _static_weakly_hierarchic(design: "Design") -> Verdict:
+    verdict = verify_weakly_hierarchic(
+        design.components, design.composition, context=design.context
+    )
+    # reuse the design's cached CompositionVerdict for follow-up queries
+    design._criterion = verdict.report
+    return verdict
+
+
+def _retitle(verdict: Verdict, prop: str, note: str) -> Verdict:
+    """Present a criterion verdict as evidence for a Theorem 1 corollary."""
+    return Verdict(
+        prop=prop,
+        subject=verdict.subject,
+        holds=verdict.holds,
+        method=verdict.method,
+        diagnostics=[Diagnostic(note, verdict.holds)] + list(verdict.diagnostics),
+        cost=verdict.cost,
+        report=verdict.report,
+    )
+
+
+def _symbolic_non_blocking(design: "Design", max_states: int) -> Verdict:
+    """Definition 4 decided on BDDs: no reachable state without a successor."""
+    with stopwatch() as elapsed:
+        lts = design.context.lts(design.composition, max_states)
+        checker = SymbolicChecker(lts, manager=design.context.manager)
+        reachable = checker.reachable_states()
+        step_variables = [next_variable(register) for register in checker.registers]
+        step_variables += [event_variable(signal) for signal in checker.signals]
+        has_successor = checker.transition_relation.exists(step_variables)
+        deadlocks = reachable & ~has_successor
+        holds = not deadlocks.is_satisfiable()
+        states = checker.reachable_count()
+    return Verdict(
+        prop="non-blocking",
+        subject=design.composition.name,
+        holds=holds,
+        method="symbolic",
+        diagnostics=[
+            Diagnostic(
+                "no reachable deadlock state (Definition 4)",
+                holds,
+                f"{states} reachable states (BDD)",
+            )
+        ],
+        cost=Cost(seconds=elapsed[0], states=states, transitions=lts.transition_count()),
+        report=deadlocks,
+    )
+
+
+def _auto(design: "Design", prop: str, static_verdict: Verdict, fallback) -> Verdict:
+    """Theorem 1 preference: keep the static answer when it concludes."""
+    if static_verdict.holds:
+        return static_verdict
+    verdict = fallback()
+    verdict.diagnostics.insert(
+        0,
+        Diagnostic(
+            "static criterion inconclusive (Definition 12 not met) — "
+            f"fell back to {verdict.method} model checking",
+            True,
+        ),
+    )
+    return verdict
+
+
+def verify(design: "Design", prop: str, method: str = "auto", **options) -> Verdict:
+    """Check ``prop`` on ``design`` with ``method``; every answer is a Verdict.
+
+    Supported properties: ``compilable``, ``hierarchic``, ``endochrony``,
+    ``weak-endochrony``, ``non-blocking``, ``isochrony``,
+    ``weakly-hierarchic``.  Options: ``max_states`` bounds the LTS
+    exploration; ``input_flows`` feeds the bounded-trace checks
+    (``endochrony`` explicit, ``isochrony``); ``max_instants`` bounds them.
+    """
+    prop = canonical_property(prop)
+    if method not in METHODS:
+        raise VerificationError(f"unknown method {method!r}; expected one of {METHODS}")
+    max_states = int(options.get("max_states", 512))
+    context = design.context
+
+    if prop == "compilable":
+        _require_static(prop, method)
+        return verify_compilable(design.analysis)
+
+    if prop == "hierarchic":
+        _require_static(prop, method)
+        return verify_hierarchic(design.analysis)
+
+    if prop == "weakly-hierarchic":
+        _require_static(prop, method)
+        return _static_weakly_hierarchic(design)
+
+    if prop == "endochrony":
+        if method in ("auto", "static"):
+            return verify_endochrony(design.composition, design.analysis)
+        if method == "explicit":
+            input_flows = options.get("input_flows")
+            if input_flows is None:
+                raise VerificationError(
+                    "endochrony with method='explicit' checks Definition 1 on bounded "
+                    "traces and needs input_flows={signal: [values...]}"
+                )
+            with stopwatch() as elapsed:
+                report = check_endochrony_on_traces(
+                    design.composition,
+                    input_flows,
+                    max_instants=int(options.get("max_instants", 8)),
+                )
+            return Verdict(
+                prop="endochrony",
+                subject=design.composition.name,
+                holds=report.holds,
+                method="explicit",
+                diagnostics=[
+                    Diagnostic(
+                        "flow-equivalent inputs give clock-equivalent behaviors "
+                        "(Definition 1)",
+                        report.holds,
+                        f"{report.behaviors_compared} behavior pairs compared",
+                        witness=report.counterexample,
+                    )
+                ],
+                cost=Cost(seconds=elapsed[0]),
+                report=report,
+            )
+        raise VerificationError("endochrony supports methods auto/static/explicit")
+
+    if prop == "weak-endochrony":
+        def explicit() -> Verdict:
+            return verify_weak_endochrony(
+                design.composition,
+                analysis=design.analysis,
+                lts=context.lts(design.composition, max_states),
+                method="explicit",
+                max_states=max_states,
+            )
+
+        def symbolic() -> Verdict:
+            lts = context.lts(design.composition, max_states)
+            verdict = verify_weak_endochrony(
+                design.composition,
+                analysis=design.analysis,
+                lts=lts,
+                method="symbolic",
+                max_states=max_states,
+            )
+            # cross-check the explored state count with the BDD reachability
+            # of Section 4.1's symbolic formulation, on the shared manager
+            checker = SymbolicChecker(lts, manager=context.manager)
+            verdict.diagnostics.append(
+                Diagnostic(
+                    "symbolic reachability agrees with exploration",
+                    checker.reachable_count() == lts.state_count(),
+                    f"{checker.reachable_count()} reachable states (BDD)",
+                )
+            )
+            return verdict
+
+        if method == "static":
+            return _retitle(
+                _static_weakly_hierarchic(design),
+                "weak-endochrony",
+                "weakly hierarchic ⇒ weakly endochronous (Theorem 1)",
+            )
+        if method == "explicit":
+            return explicit()
+        if method == "symbolic":
+            return symbolic()
+        return _auto(
+            design,
+            prop,
+            _retitle(
+                _static_weakly_hierarchic(design),
+                "weak-endochrony",
+                "weakly hierarchic ⇒ weakly endochronous (Theorem 1)",
+            ),
+            explicit,
+        )
+
+    if prop == "non-blocking":
+        def explicit() -> Verdict:
+            return verify_non_blocking(
+                design.composition,
+                lts=context.lts(design.composition, max_states),
+                max_states=max_states,
+            )
+
+        if method == "static":
+            return _retitle(
+                _static_weakly_hierarchic(design),
+                "non-blocking",
+                "weakly hierarchic ⇒ non-blocking (Definition 12)",
+            )
+        if method == "explicit":
+            return explicit()
+        if method == "symbolic":
+            return _symbolic_non_blocking(design, max_states)
+        return _auto(
+            design,
+            prop,
+            _retitle(
+                _static_weakly_hierarchic(design),
+                "non-blocking",
+                "weakly hierarchic ⇒ non-blocking (Definition 12)",
+            ),
+            explicit,
+        )
+
+    # prop == "isochrony"
+    def explicit_isochrony() -> Verdict:
+        if len(design.components) != 2:
+            raise VerificationError(
+                "isochrony with method='explicit' compares the synchronous and "
+                "asynchronous compositions of exactly two components"
+            )
+        input_flows = options.get("input_flows")
+        if input_flows is None:
+            raise VerificationError(
+                "isochrony with method='explicit' needs input_flows={signal: [values...]}"
+            )
+        left, right = design.components
+        return verify_isochrony(
+            left,
+            right,
+            input_flows,
+            max_instants=int(options.get("max_instants", 8)),
+        )
+
+    if method == "static":
+        return _retitle(
+            _static_weakly_hierarchic(design),
+            "isochrony",
+            "weakly hierarchic ⇒ components isochronous (Theorem 1)",
+        )
+    if method == "explicit":
+        return explicit_isochrony()
+    if method == "symbolic":
+        raise VerificationError("isochrony has no symbolic backend; use static or explicit")
+    static_verdict = _retitle(
+        _static_weakly_hierarchic(design),
+        "isochrony",
+        "weakly hierarchic ⇒ components isochronous (Theorem 1)",
+    )
+    if static_verdict.holds:
+        return static_verdict
+    if len(design.components) != 2 or "input_flows" not in options:
+        # The criterion is sufficient, not necessary: say "not proven", don't
+        # let the verdict read as a disproof.
+        static_verdict.diagnostics.insert(
+            0,
+            Diagnostic(
+                "static criterion inconclusive (Definition 12 not met) — isochrony is "
+                "NOT disproved; pass input_flows on a two-component design for the "
+                "explicit bounded check",
+                True,
+            ),
+        )
+        return static_verdict
+    return _auto(design, prop, static_verdict, explicit_isochrony)
+
+
+def _require_static(prop: str, method: str) -> None:
+    if method not in ("auto", "static"):
+        raise VerificationError(f"{prop} is decided by the clock calculus; use method='static'")

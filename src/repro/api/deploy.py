@@ -1,0 +1,359 @@
+"""Deployment: the four code generation / execution schemes behind one interface.
+
+Section 3.6 and Section 5 of the paper describe four ways of turning a
+verified design into running code; each becomes a :class:`Deployment` with
+the same ``reset()`` / ``step(io)`` / ``run(inputs)`` surface:
+
+* ``"sequential"`` — one monolithic step function (Section 3.6); for
+  multi-rooted designs, ``master_clocks=True`` reproduces the *current
+  scheme* of Section 5.1 (one ``C_<root>`` input per hierarchy root);
+* ``"controlled"`` — separate compilation plus the synthesized controller of
+  Section 5.2 enforcing the reported clock constraints by rendez-vous;
+* ``"concurrent"`` — the same scheduling decisions, executed as one thread
+  per component with barrier pairs at the rendez-vous;
+* ``"ltta"`` — quasi-synchronous execution in the spirit of Section 4.2:
+  each component is paced by its own clock and shared signals travel through
+  sustained latches (the "bus"); protocols such as the LTTA's alternating
+  flag absorb the oversampling, which is exactly what isochrony licenses.
+
+All deployments draw their analyses from the design's shared
+:class:`~repro.api.session.AnalysisContext`, so compiling after verifying
+re-uses every clock calculus artefact already built.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.codegen.concurrent import ConcurrentComposition
+from repro.codegen.controller import ControlledComposition, synthesize_controller
+from repro.codegen.runtime import EndOfStream, StreamIO
+from repro.codegen.sequential import CompiledProcess, compile_process
+from repro.lang.normalize import NormalizedProcess
+from repro.semantics.interpreter import ABSENT, SignalInterpreter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Design
+
+STRATEGIES = ("sequential", "controlled", "concurrent", "ltta")
+
+
+class DeploymentError(Exception):
+    """Raised when a design cannot be deployed with the requested strategy."""
+
+
+class Deployment:
+    """Common surface of the four execution schemes."""
+
+    strategy: str = "abstract"
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def step(self, io: StreamIO) -> bool:
+        """One global reaction; False when an input stream is exhausted."""
+        raise NotImplementedError
+
+    def run(
+        self, inputs: Mapping[str, Sequence[object]], max_steps: int = 1_000_000
+    ) -> Dict[str, List[object]]:
+        """Reset, iterate until the inputs run dry, return the output flows."""
+        self.reset()
+        io = StreamIO({name: list(values) for name, values in inputs.items()})
+        steps = 0
+        while steps < max_steps and self.step(io):
+            steps += 1
+        return {name: io.output(name) for name in self.outputs}
+
+    def listing(self) -> str:
+        """A C-like rendering of the deployed code (paper-figure style)."""
+        raise NotImplementedError
+
+
+class SequentialDeployment(Deployment):
+    """Sections 3.6 / 5.1: the composition compiled to one step function."""
+
+    strategy = "sequential"
+
+    def __init__(self, design: "Design", master_clocks: bool = False):
+        self.design = design
+        self.compiled: CompiledProcess = compile_process(
+            design.analysis, master_clocks=master_clocks
+        )
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return self.compiled.inputs
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return self.compiled.outputs
+
+    @property
+    def master_clock_inputs(self) -> List[str]:
+        return list(self.compiled.master_clock_inputs)
+
+    def reset(self) -> None:
+        self.compiled.reset()
+
+    def step(self, io: StreamIO) -> bool:
+        return self.compiled.step(io)
+
+    def listing(self) -> str:
+        return self.compiled.c_source
+
+
+class ControlledDeployment(Deployment):
+    """Section 5.2: separate compilation plus the synthesized controller."""
+
+    strategy = "controlled"
+
+    def __init__(self, design: "Design"):
+        self.design = design
+        compiled = _compile_components(design)
+        self.controlled: ControlledComposition = synthesize_controller(
+            compiled, design.criterion()
+        )
+
+    @property
+    def constraints(self):
+        return list(self.controlled.constraints)
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return self.controlled.external_inputs
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return self.controlled.external_outputs
+
+    def reset(self) -> None:
+        self.controlled.reset()
+
+    def step(self, io: StreamIO) -> bool:
+        return self.controlled.step(io)
+
+    def listing(self) -> str:
+        return self.controlled.c_listing()
+
+
+class ConcurrentDeployment(Deployment):
+    """Section 5.2, concurrent variant: one thread per component, barriers."""
+
+    strategy = "concurrent"
+
+    def __init__(self, design: "Design", max_steps: int = 10_000):
+        self.design = design
+        self._compiled = _compile_components(design)
+        controlled = synthesize_controller(self._compiled, design.criterion())
+        self.constraints = list(controlled.constraints)
+        self._controlled = controlled  # kept for the listing only
+        self.max_steps = max_steps
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return self._controlled.external_inputs
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return self._controlled.external_outputs
+
+    def reset(self) -> None:
+        for compiled in self._compiled:
+            compiled.reset()
+
+    def step(self, io: StreamIO) -> bool:
+        raise DeploymentError(
+            "the concurrent deployment runs whole flows (threads join on stream "
+            "exhaustion); use run(inputs) — or the 'controlled' strategy for "
+            "step-by-step execution with the same scheduling decisions"
+        )
+
+    def run(
+        self, inputs: Mapping[str, Sequence[object]], max_steps: Optional[int] = None
+    ) -> Dict[str, List[object]]:
+        self.reset()
+        composition = ConcurrentComposition(
+            self._compiled, self.constraints, max_steps or self.max_steps
+        )
+        outputs = composition.run(inputs)
+        return {name: outputs.get(name, []) for name in self.outputs}
+
+    def listing(self) -> str:
+        return self._controlled.c_listing()
+
+
+class LttaDeployment(Deployment):
+    """Section 4.2 in execution form: independently paced devices, sustained bus.
+
+    Each component is interpreted on its own clock: component ``c`` activates
+    at every micro-instant ``t`` with ``t % paces[c] == 0`` (default pace 1).
+    At an activation it reads one fresh value from each of its external input
+    streams, reads the *sustained* last value of each shared signal from the
+    bus latch, and publishes its outputs (shared ones to the latch, external
+    ones to the environment).  With all paces equal this coincides with the
+    synchronous product; with drifting paces it is the LTTA setting, where a
+    value may be observed several times — sound exactly when the design's
+    protocol (e.g. the alternating flag) filters duplicates, which is the
+    guarantee Theorem 1's isochrony gives for weakly hierarchic designs.
+    """
+
+    strategy = "ltta"
+
+    def __init__(self, design: "Design", paces: Optional[Mapping[str, int]] = None):
+        self.design = design
+        self.components: List[NormalizedProcess] = list(design.components)
+        if not self.components:
+            raise DeploymentError("the LTTA deployment needs at least one component")
+        self.paces: Dict[str, int] = {
+            component.name: max(1, int((paces or {}).get(component.name, 1)))
+            for component in self.components
+        }
+        self._shared: Set[str] = _shared_signals(self.components)
+        self._order: List[NormalizedProcess] = _dependency_order(self.components)
+        self._interpreters: Dict[str, SignalInterpreter] = {
+            component.name: SignalInterpreter(component) for component in self.components
+        }
+        self._latch: Dict[str, object] = {}
+        self._instant = 0
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        for component in self._order:
+            for signal in component.inputs:
+                if signal not in self._shared and signal not in names:
+                    names.append(signal)
+        return tuple(names)
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        for component in self._order:
+            for signal in component.outputs:
+                if signal not in self._shared and signal not in names:
+                    names.append(signal)
+        return tuple(names)
+
+    def reset(self) -> None:
+        for interpreter in self._interpreters.values():
+            interpreter.reset()
+        self._latch = {}
+        self._instant = 0
+
+    def step(self, io: StreamIO) -> bool:
+        """One micro-instant: activate every component whose pace divides it."""
+        instant = self._instant
+        for component in self._order:
+            if instant % self.paces[component.name] != 0:
+                continue
+            values: Dict[str, object] = {}
+            for signal in component.inputs:
+                if signal in self._shared:
+                    values[signal] = self._latch.get(signal, ABSENT)
+                else:
+                    try:
+                        values[signal] = io.read(signal)
+                    except EndOfStream:
+                        return False
+            result = self._interpreters[component.name].step(values)
+            for signal in component.outputs:
+                if not result.present(signal):
+                    continue
+                if signal in self._shared:
+                    self._latch[signal] = result.value(signal)
+                else:
+                    io.write(signal, result.value(signal))
+        self._instant += 1
+        return True
+
+    def listing(self) -> str:
+        lines = ["/* quasi-synchronous main loop (Section 4.2 style) */", "bool ltta_iterate() {"]
+        for component in self._order:
+            pace = self.paces[component.name]
+            lines.append(f"  if (t % {pace} == 0) {{  /* device {component.name} */")
+            for signal in component.inputs:
+                if signal in self._shared:
+                    lines.append(f"    {signal} = bus_{signal};  /* sustained */")
+                else:
+                    lines.append(f"    if (!r_{component.name}_{signal}(&{signal})) return FALSE;")
+            lines.append(f"    {component.name}_iterate();")
+            for signal in component.outputs:
+                if signal in self._shared:
+                    lines.append(f"    bus_{signal} = {signal};")
+            lines.append("  }")
+        lines.append("  t = t + 1;")
+        lines.append("  return TRUE;")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _shared_signals(components: Sequence[NormalizedProcess]) -> Set[str]:
+    produced: Set[str] = set()
+    consumed: Set[str] = set()
+    for component in components:
+        produced.update(component.outputs)
+        consumed.update(component.inputs)
+    return produced & consumed
+
+
+def _dependency_order(components: Sequence[NormalizedProcess]) -> List[NormalizedProcess]:
+    """Producers of shared signals before their consumers, stable on ties."""
+    produced_by: Dict[str, str] = {}
+    for component in components:
+        for name in component.outputs:
+            produced_by[name] = component.name
+    dependencies: Dict[str, Set[str]] = {component.name: set() for component in components}
+    for component in components:
+        for name in component.inputs:
+            producer = produced_by.get(name)
+            if producer and producer != component.name:
+                dependencies[component.name].add(producer)
+    by_name = {component.name: component for component in components}
+    order: List[str] = []
+    remaining = dict(dependencies)
+    while remaining:
+        ready = sorted(name for name, deps in remaining.items() if deps <= set(order))
+        if not ready:
+            order.extend(sorted(remaining))
+            break
+        order.append(ready[0])
+        del remaining[ready[0]]
+    return [by_name[name] for name in order]
+
+
+def _compile_components(design: "Design") -> List[CompiledProcess]:
+    """Separately compile every component, reusing the session's analyses."""
+    compiled: List[CompiledProcess] = []
+    for component in design.components:
+        analysis = design.context.analysis(component)
+        if not analysis.is_compilable() or not analysis.is_hierarchic():
+            raise DeploymentError(
+                f"component {component.name!r} is not endochronous "
+                f"(compilable={analysis.is_compilable()}, roots={analysis.root_count()}); "
+                "the compositional schemes of Section 5.2 compile components separately "
+                "and need each of them endochronous"
+            )
+        compiled.append(compile_process(analysis))
+    return compiled
+
+
+def build_deployment(design: "Design", strategy: str = "sequential", **options) -> Deployment:
+    """Instantiate the deployment scheme named by ``strategy``."""
+    if strategy == "sequential":
+        return SequentialDeployment(design, master_clocks=bool(options.get("master_clocks")))
+    if strategy == "controlled":
+        return ControlledDeployment(design)
+    if strategy == "concurrent":
+        return ConcurrentDeployment(design, max_steps=int(options.get("max_steps", 10_000)))
+    if strategy == "ltta":
+        return LttaDeployment(design, paces=options.get("paces"))
+    raise DeploymentError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")

@@ -1,0 +1,144 @@
+"""The uniform result model of the :mod:`repro.api` facade.
+
+Every verification entry point of the facade returns a :class:`Verdict`: one
+boolean outcome plus the structured evidence behind it — which property was
+checked, on what subject, by which method, the per-check
+:class:`Diagnostic` items (with witnesses / counterexamples when the
+underlying checker produced one) and the :class:`Cost` of obtaining the
+answer.  This replaces the historical mix of bare booleans, report
+dataclasses and dictionaries of the property modules; the old entry points
+remain available as thin shims over the Verdict producers.
+
+A Verdict is truthy exactly when the property holds, so existing
+``assert``-style call sites keep reading naturally::
+
+    verdict = design.verify("weak-endochrony")
+    assert verdict                      # truthiness == verdict.holds
+    for diagnostic in verdict.failures():
+        print(diagnostic.name, diagnostic.detail)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One elementary check inside a verdict (an axiom, a definition clause...).
+
+    ``witness`` carries the structured witness or counterexample produced by
+    the underlying checker, when there is one — a reaction pair for the weak
+    endochrony axioms, a deadlocked state for non-blocking, a behavior pair
+    for the trace checks.
+    """
+
+    name: str
+    holds: bool
+    detail: str = ""
+    witness: Optional[object] = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __str__(self) -> str:
+        status = "holds" if self.holds else "FAILS"
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"{self.name}: {status}{suffix}"
+
+
+@dataclass(frozen=True)
+class Cost:
+    """What it took to decide a property — the paper's static-vs-MC argument.
+
+    ``states`` / ``transitions`` are the explored reaction space (zero for the
+    purely static criterion, which is the whole point of Theorem 1);
+    ``components`` counts the per-component analyses a compositional check
+    ran.
+    """
+
+    seconds: float = 0.0
+    states: int = 0
+    transitions: int = 0
+    components: int = 0
+
+    def __str__(self) -> str:
+        parts = [f"{self.seconds * 1000:.1f} ms"]
+        if self.states:
+            parts.append(f"{self.states} states")
+        if self.transitions:
+            parts.append(f"{self.transitions} transitions")
+        if self.components:
+            parts.append(f"{self.components} components")
+        return ", ".join(parts)
+
+
+@dataclass
+class Verdict:
+    """The uniform outcome of one property verification.
+
+    ``prop`` is the property name (``"endochrony"``, ``"weak-endochrony"``,
+    ``"non-blocking"``, ...), ``subject`` the process or design it was checked
+    on, ``method`` how it was decided (``"static"``, ``"explicit"``,
+    ``"symbolic"`` or ``"trace"``), and ``report`` the underlying report
+    object of the property module, kept for callers that need the full
+    detail (e.g. the :class:`~repro.properties.composition.CompositionVerdict`
+    with its reported clock constraints).
+    """
+
+    prop: str
+    subject: str
+    holds: bool
+    method: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    cost: Cost = field(default_factory=Cost)
+    report: Optional[object] = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def failures(self) -> List[Diagnostic]:
+        return [diagnostic for diagnostic in self.diagnostics if not diagnostic.holds]
+
+    def witness(self) -> Optional[object]:
+        """The witness of the first failing diagnostic, if any."""
+        for diagnostic in self.diagnostics:
+            if not diagnostic.holds and diagnostic.witness is not None:
+                return diagnostic.witness
+        return None
+
+    def __str__(self) -> str:
+        status = "HOLDS" if self.holds else "FAILS"
+        lines = [f"{self.prop} on {self.subject}: {status} [{self.method}, {self.cost}]"]
+        lines.extend(f"  {diagnostic}" for diagnostic in self.diagnostics)
+        return "\n".join(lines)
+
+
+@contextmanager
+def stopwatch() -> Iterator[List[float]]:
+    """Measure a verification step; the elapsed seconds land in the yielded cell."""
+    cell = [0.0]
+    start = time.perf_counter()
+    try:
+        yield cell
+    finally:
+        cell[0] = time.perf_counter() - start
+
+
+def diagnostics_from_invariants(results: Iterable[object]) -> List[Diagnostic]:
+    """Convert :class:`~repro.mc.explicit.InvariantResult` items to diagnostics."""
+    diagnostics: List[Diagnostic] = []
+    for result in results:
+        counterexample = getattr(result, "counterexample", None)
+        diagnostics.append(
+            Diagnostic(
+                name=result.name,
+                holds=result.holds,
+                detail=counterexample or "",
+                witness=counterexample,
+            )
+        )
+    return diagnostics

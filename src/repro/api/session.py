@@ -1,0 +1,402 @@
+"""The :class:`Design` session — one entry point for the paper's pipeline.
+
+The paper's flow is a single story: normalize a Signal process, build its
+clock hierarchy, check the weakly hierarchic criterion of Definition 12 /
+Theorem 1, then generate sequential, controlled or concurrent code.  A
+:class:`Design` holds that story as a session: components are added once,
+every analysis artefact (normalization, timing relations, clock algebra,
+hierarchy, scheduling graph, reaction LTS) is computed once and shared by
+all subsequent queries through an :class:`AnalysisContext`, and one BDD
+manager backs every clock calculus of the session.
+
+    design = Design.from_source(source)
+    design.verify("weak-endochrony")          # static criterion, MC fallback
+    design.compile("controlled").run(inputs)  # Section 5.2 deployment
+
+The same context makes composing N components cheap: the per-component
+analyses built for the compositional criterion are the very objects reused
+by code generation and by later verification calls, instead of being
+re-derived per query as with the historical flat entry points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.bdd.bdd import BDDManager
+from repro.lang.ast import Composition, Instantiation, ProcessDefinition, Restriction, Statement
+from repro.lang.builder import ProcessBuilder
+from repro.lang.normalize import NormalizedProcess, normalize
+from repro.lang.parser import parse_program
+from repro.mc.transition import ReactionLTS, build_lts
+from repro.properties.compilable import ProcessAnalysis
+from repro.properties.composition import CompositionVerdict, check_weakly_hierarchic
+
+#: everything a Design accepts as a component
+ProcessLike = Union[ProcessDefinition, NormalizedProcess, ProcessBuilder, str]
+
+
+class AnalysisContext:
+    """Shared memo of normalizations, analyses, LTSs and one BDD manager.
+
+    All queries issued through the same context — by one :class:`Design` or by
+    several designs sharing the context — reuse each other's work:
+
+    * ``normalized()`` caches the expansion of a :class:`ProcessDefinition`
+      into primitive equations (keyed by definition identity);
+    * ``analysis()`` caches the :class:`ProcessAnalysis` of a normalized
+      process, all built over the *same* :class:`BDDManager`, so clock BDDs
+      are hash-consed across components and across repeated queries;
+    * ``lts()`` caches the explored reaction LTS used by the explicit and
+      symbolic model-checking backends.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[Mapping[str, ProcessDefinition]] = None,
+        manager: Optional[BDDManager] = None,
+    ):
+        self.manager = manager or BDDManager()
+        self.registry: Dict[str, ProcessDefinition] = dict(registry or {})
+        # id() keys need the keyed objects kept alive, hence the paired dicts.
+        self._definitions: Dict[int, ProcessDefinition] = {}
+        self._normalized: Dict[int, NormalizedProcess] = {}
+        self._processes: Dict[int, NormalizedProcess] = {}
+        self._analyses: Dict[int, ProcessAnalysis] = {}
+        self._ltss: Dict[Tuple[int, int], ReactionLTS] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- registry ---------------------------------------------------------------
+    def register(
+        self, definitions: Union[ProcessDefinition, Mapping[str, ProcessDefinition]]
+    ) -> None:
+        """Add definitions that instantiations may reference during normalization."""
+        if isinstance(definitions, ProcessDefinition):
+            self.registry[definitions.name] = definitions
+        else:
+            self.registry.update(definitions)
+
+    # -- memoized pipeline stages -----------------------------------------------
+    def normalized(self, process: ProcessLike) -> NormalizedProcess:
+        """The normalized form of any process-like value, memoized."""
+        if isinstance(process, NormalizedProcess):
+            return process
+        if isinstance(process, str):
+            return self.normalized(self._definition_from_source(process))
+        if isinstance(process, ProcessBuilder):
+            process = process.build()
+        key = id(process)
+        cached = self._normalized.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = normalize(process, self.registry or None)
+        self._definitions[key] = process
+        self._normalized[key] = result
+        return result
+
+    def analysis(self, process: ProcessLike) -> ProcessAnalysis:
+        """The :class:`ProcessAnalysis` of a process, memoized on this context."""
+        normalized_process = self.normalized(process)
+        key = id(normalized_process)
+        cached = self._analyses.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        analysis = ProcessAnalysis(normalized_process, manager=self.manager)
+        self._processes[key] = normalized_process
+        self._analyses[key] = analysis
+        return analysis
+
+    def lts(self, process: ProcessLike, max_states: int = 512) -> ReactionLTS:
+        """The explored reaction LTS of a process, memoized per state bound."""
+        normalized_process = self.normalized(process)
+        key = (id(normalized_process), max_states)
+        cached = self._ltss.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        analysis = self.analysis(normalized_process)
+        lts = build_lts(normalized_process, analysis.hierarchy, max_states=max_states)
+        self._ltss[key] = lts
+        return lts
+
+    def _definition_from_source(self, source: str) -> ProcessDefinition:
+        definitions = parse_program(source)
+        self.register(definitions)
+        roots = _root_definitions(definitions)
+        if len(roots) != 1:
+            raise ValueError(
+                f"source defines {len(roots)} top-level processes "
+                f"({', '.join(sorted(d.name for d in roots))}); add them one by one "
+                "or use Design.from_source()"
+            )
+        return roots[0]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "analyses": len(self._analyses),
+            "ltss": len(self._ltss),
+            "bdd_variables": len(self.manager.variables()),
+        }
+
+
+def _instantiated_names(statement: Statement) -> Iterable[str]:
+    if isinstance(statement, Instantiation):
+        yield statement.process
+    elif isinstance(statement, Composition):
+        for child in statement.statements:
+            yield from _instantiated_names(child)
+    elif isinstance(statement, Restriction):
+        yield from _instantiated_names(statement.body)
+
+
+def _root_definitions(definitions: Mapping[str, ProcessDefinition]) -> List[ProcessDefinition]:
+    """The processes of a parsed program that no other parsed process instantiates."""
+    instantiated: set = set()
+    for definition in definitions.values():
+        instantiated.update(_instantiated_names(definition.body))
+    roots = [d for name, d in definitions.items() if name not in instantiated]
+    return roots or list(definitions.values())
+
+
+def analyze(
+    process: Union[ProcessLike, ProcessAnalysis],
+    registry: Optional[Mapping[str, ProcessDefinition]] = None,
+    *,
+    context: Optional[AnalysisContext] = None,
+) -> ProcessAnalysis:
+    """Analyse a process — the single canonical code path.
+
+    Normalizes the input if needed (resolving instantiations against
+    ``registry``) and builds the :class:`ProcessAnalysis` pipeline.  With a
+    ``context`` the result is memoized and shares the context's BDD manager;
+    without one, a fresh standalone analysis is returned.  ``repro.analyze``
+    and the deprecated ``ProcessAnalysis.of`` both resolve here, as does
+    every analysis issued by a :class:`Design`.
+    """
+    if isinstance(process, ProcessAnalysis):
+        return process
+    if context is None:
+        context = AnalysisContext(registry)
+        return ProcessAnalysis(context.normalized(process))
+    if registry:
+        context.register(registry)
+    return context.analysis(process)
+
+
+class Design:
+    """A session over one design: components, shared analyses, verdicts, code.
+
+    Components can be added as :class:`ProcessDefinition`,
+    :class:`NormalizedProcess`, :class:`ProcessBuilder` or Signal source text;
+    all analysis work is shared through :attr:`context` and survives across
+    ``verify()`` / ``compile()`` calls, so checking several properties of an
+    N-component composition normalizes and hierarchizes each component once.
+    """
+
+    def __init__(
+        self,
+        name: str = "design",
+        components: Iterable[ProcessLike] = (),
+        context: Optional[AnalysisContext] = None,
+        registry: Optional[Mapping[str, ProcessDefinition]] = None,
+        composition: Optional[ProcessLike] = None,
+    ):
+        self.name = name
+        self.context = context or AnalysisContext()
+        if registry:
+            self.context.register(registry)
+        self._components: List[NormalizedProcess] = []
+        self._composition: Optional[NormalizedProcess] = None
+        self._criterion: Optional[CompositionVerdict] = None
+        self._verdicts: Dict[Tuple[str, str, str], object] = {}
+        for component in components:
+            self.add_component(component)
+        if composition is not None:
+            # A pre-built composition (e.g. from a generator) used as-is; it is
+            # discarded if the component list changes afterwards.
+            self._composition = self.context.normalized(composition)
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        name: Optional[str] = None,
+        components: Optional[Sequence[str]] = None,
+        context: Optional[AnalysisContext] = None,
+    ) -> "Design":
+        """Build a design from Signal source text.
+
+        Every process defined in ``source`` joins the design's registry (so
+        instantiations resolve); the design's components are the processes
+        named in ``components``, or, by default, the *root* processes — those
+        not instantiated by any other process of the program.
+        """
+        definitions = parse_program(source)
+        context = context or AnalysisContext()
+        context.register(definitions)
+        if components is not None:
+            missing = [n for n in components if n not in definitions]
+            if missing:
+                raise ValueError(f"source does not define {', '.join(missing)}")
+            selected = [definitions[n] for n in components]
+        else:
+            selected = _root_definitions(definitions)
+        design_name = name or (selected[0].name if len(selected) == 1 else "design")
+        return cls(name=design_name, components=selected, context=context)
+
+    @classmethod
+    def from_builder(
+        cls, builder: ProcessBuilder, context: Optional[AnalysisContext] = None
+    ) -> "Design":
+        """Build a single-component design from a :class:`ProcessBuilder`."""
+        definition = builder.build()
+        return cls(name=definition.name, components=[definition], context=context)
+
+    @classmethod
+    def from_process(
+        cls,
+        process: ProcessLike,
+        context: Optional[AnalysisContext] = None,
+        registry: Optional[Mapping[str, ProcessDefinition]] = None,
+    ) -> "Design":
+        """Build a single-component design from any process-like value."""
+        design = cls(context=context, registry=registry, components=[process])
+        design.name = design._components[0].name
+        return design
+
+    # -- composition -------------------------------------------------------------
+    def add_component(self, process: ProcessLike, name: Optional[str] = None) -> "Design":
+        """Add a component (chainable); invalidates composed artefacts only."""
+        if isinstance(process, ProcessDefinition):
+            self.context.register(process)
+        component = self.context.normalized(process)
+        if name:
+            component = NormalizedProcess(
+                name=name,
+                inputs=component.inputs,
+                outputs=component.outputs,
+                locals=component.locals,
+                equations=component.equations,
+                types=dict(component.types),
+            )
+        self._components.append(component)
+        self._composition = None
+        self._criterion = None
+        self._verdicts.clear()
+        return self
+
+    @property
+    def components(self) -> Tuple[NormalizedProcess, ...]:
+        return tuple(self._components)
+
+    @property
+    def composition(self) -> NormalizedProcess:
+        """The synchronous composition of the components (cached)."""
+        if not self._components:
+            raise ValueError(f"design {self.name!r} has no components")
+        if self._composition is None:
+            composed = self._components[0]
+            for component in self._components[1:]:
+                composed = composed.compose(component)
+            if composed.name != self.name:
+                composed = NormalizedProcess(
+                    name=self.name,
+                    inputs=composed.inputs,
+                    outputs=composed.outputs,
+                    locals=composed.locals,
+                    equations=composed.equations,
+                    types=dict(composed.types),
+                )
+            self._composition = composed
+        return self._composition
+
+    @property
+    def analysis(self) -> ProcessAnalysis:
+        """The shared :class:`ProcessAnalysis` of the composition."""
+        return self.context.analysis(self.composition)
+
+    def component_analyses(self) -> List[ProcessAnalysis]:
+        return [self.context.analysis(component) for component in self._components]
+
+    def criterion(self) -> CompositionVerdict:
+        """The weakly hierarchic criterion (Definition 12) over the components, cached."""
+        if self._criterion is None:
+            self._criterion = check_weakly_hierarchic(
+                self._components, self.composition, context=self.context
+            )
+        return self._criterion
+
+    # -- the pipeline: verify and compile ------------------------------------------
+    def verify(self, prop: str, method: str = "auto", **options):
+        """Check a property of the design; returns a :class:`~repro.api.results.Verdict`.
+
+        ``method`` selects the backend: ``"static"`` (the clock calculus /
+        Theorem 1), ``"explicit"`` (reaction LTS exploration), ``"symbolic"``
+        (the invariant formulation of Section 4.1 with BDD reachability) or
+        ``"auto"`` — prefer the static criterion, fall back to model checking
+        when the criterion does not apply.  Verdicts are cached per
+        ``(prop, method, options)``.
+        """
+        from repro.api.backends import canonical_property, verify as dispatch
+
+        prop = canonical_property(prop)
+        key = (prop, method, repr(sorted(options.items(), key=repr)))
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            self.context.hits += 1
+            return cached
+        verdict = dispatch(self, prop, method, **options)
+        self._verdicts[key] = verdict
+        return verdict
+
+    def compile(self, strategy: str = "sequential", **options):
+        """Deploy the design; returns a :class:`~repro.api.deploy.Deployment`.
+
+        ``strategy`` is ``"sequential"`` (Section 3.6 / 5.1), ``"controlled"``
+        (the synthesized controller of Section 5.2), ``"concurrent"`` (threads
+        and barriers) or ``"ltta"`` (quasi-synchronous execution with sustained
+        shared signals, Section 4.2).
+        """
+        from repro.api.deploy import build_deployment
+
+        return build_deployment(self, strategy, **options)
+
+    # -- reporting ----------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Composition summary plus per-component endochrony, uniform with reports."""
+        summary = self.analysis.summary()
+        summary["design"] = self.name
+        summary["components"] = {
+            analysis.process.name: {
+                "compilable": analysis.is_compilable(),
+                "roots": analysis.root_count(),
+            }
+            for analysis in self.component_analyses()
+        }
+        return summary
+
+    def describe(self) -> str:
+        lines = [f"design {self.name}: {len(self._components)} component(s)"]
+        for analysis in self.component_analyses():
+            lines.append(
+                f"  {analysis.process.name}: compilable={analysis.is_compilable()} "
+                f"roots={analysis.root_count()}"
+            )
+        analysis = self.analysis
+        lines.append(
+            f"  composition: well-clocked={analysis.is_well_clocked()} "
+            f"acyclic={analysis.is_acyclic()} roots={analysis.root_count()}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Design({self.name!r}, components={[c.name for c in self._components]})"

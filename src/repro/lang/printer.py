@@ -107,8 +107,10 @@ def format_statement(statement: Statement, indent: int = 0) -> str:
     if isinstance(statement, Instantiation):
         outputs = ", ".join(statement.outputs)
         arguments = ", ".join(format_expression(argument) for argument in statement.arguments)
-        left = f"({outputs})" if len(statement.outputs) != 1 else outputs
-        return f"{pad}{left} := {statement.process}({arguments});"
+        # Outputs are always parenthesized: the parser recognizes an
+        # instantiation by its leading '(' (a bare `x := p(y)` would be read
+        # as an equation whose right-hand side the expression grammar rejects).
+        return f"{pad}({outputs}) := {statement.process}({arguments});"
     if isinstance(statement, Composition):
         return "\n".join(format_statement(child, indent) for child in statement.statements)
     if isinstance(statement, Restriction):

@@ -58,6 +58,13 @@ class SymbolicChecker:
             self.manager.declare(event_variable(signal))
         self._transition_relation = self._encode_transitions()
         self._initial = self._encode_state(lts.initial, current_variable)
+        # The set of states the (possibly max_states-truncated) LTS actually
+        # explored.  Transitions may point at states cut by the bound; without
+        # this restriction those dangling targets would be BDD-reachable yet
+        # have no encoded successors, diverging from the explicit checker.
+        self._explored = self.manager.false
+        for state in lts.states:
+            self._explored = self._explored | self._encode_state(state, current_variable)
 
     # -- encoding ----------------------------------------------------------------
     def _collect_signals(self) -> Tuple[str, ...]:
@@ -94,22 +101,37 @@ class SymbolicChecker:
 
     # -- reachability ---------------------------------------------------------------
     @property
+    def registers(self) -> Tuple[str, ...]:
+        """The state registers of the encoded transition system."""
+        return self._registers
+
+    @property
+    def signals(self) -> Tuple[str, ...]:
+        """The event signals of the encoded transition system."""
+        return self._signals
+
+    @property
     def transition_relation(self) -> BDD:
         return self._transition_relation
+
+    @property
+    def explored_states(self) -> BDD:
+        """The encoded set of states present in the LTS (the bounded model)."""
+        return self._explored
 
     @property
     def initial_states(self) -> BDD:
         return self._initial
 
     def image(self, states: BDD) -> BDD:
-        """The set of states reachable in exactly one transition from ``states``."""
+        """The states reachable in one transition, within the bounded model."""
         event_vars = [event_variable(signal) for signal in self._signals]
         current_vars = [current_variable(register) for register in self._registers]
         step = (states & self._transition_relation).exists(event_vars + current_vars)
         renaming = {
             next_variable(register): current_variable(register) for register in self._registers
         }
-        return step.rename(renaming)
+        return step.rename(renaming) & self._explored
 
     def reachable_states(self, max_iterations: int = 10_000) -> BDD:
         """Least fixpoint of the image starting from the initial states."""

@@ -14,38 +14,53 @@
   (Definition 12) and the Theorem 1 pipeline.
 """
 
-from repro.properties.compilable import ProcessAnalysis, is_compilable
+from repro.properties.compilable import (
+    ProcessAnalysis,
+    is_compilable,
+    verify_compilable,
+    verify_hierarchic,
+)
 from repro.properties.endochrony import (
     is_hierarchic,
     is_endochronous,
     check_endochrony_on_traces,
+    verify_endochrony,
     EndochronyTraceReport,
 )
 from repro.properties.weak_endochrony import (
     check_weak_endochrony,
+    verify_weak_endochrony,
     WeakEndochronyReport,
 )
-from repro.properties.nonblocking import is_non_blocking
-from repro.properties.isochrony import check_isochrony, IsochronyReport
+from repro.properties.nonblocking import is_non_blocking, verify_non_blocking
+from repro.properties.isochrony import check_isochrony, verify_isochrony, IsochronyReport
 from repro.properties.composition import (
     CompositionVerdict,
     check_weakly_hierarchic,
+    verify_weakly_hierarchic,
     compose_and_check,
 )
 
 __all__ = [
     "ProcessAnalysis",
     "is_compilable",
+    "verify_compilable",
+    "verify_hierarchic",
     "is_hierarchic",
     "is_endochronous",
     "check_endochrony_on_traces",
+    "verify_endochrony",
     "EndochronyTraceReport",
     "check_weak_endochrony",
+    "verify_weak_endochrony",
     "WeakEndochronyReport",
     "is_non_blocking",
+    "verify_non_blocking",
     "check_isochrony",
+    "verify_isochrony",
     "IsochronyReport",
     "CompositionVerdict",
     "check_weakly_hierarchic",
+    "verify_weakly_hierarchic",
     "compose_and_check",
 ]

@@ -12,9 +12,12 @@ Property 1 states that a compilable process is reactive and deterministic.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+from repro.api.results import Cost, Diagnostic, Verdict, stopwatch
+from repro.bdd.bdd import BDDManager
 from repro.clocks.algebra import ClockAlgebra
 from repro.clocks.disjunctive import DisjunctiveFormResult, to_disjunctive_form
 from repro.clocks.hierarchy import ClockHierarchy, build_hierarchy
@@ -30,8 +33,9 @@ from repro.sched.reinforce import reinforce
 class ProcessAnalysis:
     """Lazily computed analysis artefacts of one normalized process."""
 
-    def __init__(self, process: NormalizedProcess):
+    def __init__(self, process: NormalizedProcess, manager: Optional[BDDManager] = None):
         self.process = process
+        self._manager = manager
         self._relations: Optional[TimingRelations] = None
         self._algebra: Optional[ClockAlgebra] = None
         self._hierarchy: Optional[ClockHierarchy] = None
@@ -42,8 +46,16 @@ class ProcessAnalysis:
     # -- constructors -----------------------------------------------------------
     @classmethod
     def of(cls, definition: ProcessDefinition, registry=None) -> "ProcessAnalysis":
-        """Analyse a (non-normalized) process definition."""
-        return cls(normalize(definition, registry))
+        """Deprecated alias of :func:`repro.api.session.analyze` (one code path)."""
+        warnings.warn(
+            "ProcessAnalysis.of() is deprecated; use repro.analyze() or a "
+            "repro.api.Design session instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api.session import analyze
+
+        return analyze(definition, registry)
 
     # -- artefacts ----------------------------------------------------------------
     @property
@@ -55,7 +67,7 @@ class ProcessAnalysis:
     @property
     def algebra(self) -> ClockAlgebra:
         if self._algebra is None:
-            self._algebra = ClockAlgebra(self.process, self.relations)
+            self._algebra = ClockAlgebra(self.process, self.relations, self._manager)
         return self._algebra
 
     @property
@@ -120,6 +132,50 @@ class ProcessAnalysis:
         }
 
 
+def verify_compilable(
+    process: Union[NormalizedProcess, ProcessAnalysis],
+) -> Verdict:
+    """Definition 10 as a :class:`~repro.api.results.Verdict`."""
+    analysis = process if isinstance(process, ProcessAnalysis) else ProcessAnalysis(process)
+    with stopwatch() as elapsed:
+        well_formed = analysis.hierarchy.well_formed()
+        disjunctive = analysis.disjunctive.is_disjunctive()
+        acyclic = analysis.is_acyclic()
+    verdict = Verdict(
+        prop="compilable",
+        subject=analysis.process.name,
+        holds=well_formed and disjunctive and acyclic,
+        method="static",
+        diagnostics=[
+            Diagnostic("well-formed hierarchy (Definition 7)", well_formed),
+            Diagnostic("disjunctive form (Definition 7)", disjunctive),
+            Diagnostic("acyclic reinforced graph (Definition 8)", acyclic),
+        ],
+        cost=Cost(seconds=elapsed[0]),
+        report=analysis,
+    )
+    return verdict
+
+
+def verify_hierarchic(process: Union[NormalizedProcess, ProcessAnalysis]) -> Verdict:
+    """Definition 11 as a :class:`~repro.api.results.Verdict`."""
+    analysis = process if isinstance(process, ProcessAnalysis) else ProcessAnalysis(process)
+    with stopwatch() as elapsed:
+        roots = analysis.root_count()
+    verdict = Verdict(
+        prop="hierarchic",
+        subject=analysis.process.name,
+        holds=roots == 1,
+        method="static",
+        diagnostics=[
+            Diagnostic("unique hierarchy root (Definition 11)", roots == 1, f"{roots} roots")
+        ],
+        cost=Cost(seconds=elapsed[0]),
+        report=analysis,
+    )
+    return verdict
+
+
 def is_compilable(process: NormalizedProcess) -> bool:
-    """Definition 10 as a standalone predicate."""
-    return ProcessAnalysis(process).is_compilable()
+    """Definition 10 as a standalone predicate (shim over :func:`verify_compilable`)."""
+    return verify_compilable(process).holds

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from functools import reduce
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.api.results import Cost, Diagnostic, Verdict, stopwatch
 from repro.clocks.expressions import format_clock_expression
 from repro.lang.ast import ClockExpressionSyntax, ClockFalse, ClockOf, ClockTrue
 from repro.lang.normalize import NormalizedProcess
@@ -152,8 +153,16 @@ def check_weakly_hierarchic(
     components: Sequence[NormalizedProcess],
     composition: Optional[NormalizedProcess] = None,
     composition_name: Optional[str] = None,
+    context=None,
 ) -> CompositionVerdict:
-    """Definition 12 over explicit components and (optionally) their composition."""
+    """Definition 12 over explicit components and (optionally) their composition.
+
+    ``context`` may be a :class:`repro.api.session.AnalysisContext` (or any
+    object with an ``analysis(process)`` method): per-component and
+    composition analyses are then fetched from its memo instead of being
+    rebuilt, so repeated checks over the same components share all clock
+    calculus work and one BDD manager.
+    """
     if not components:
         raise ValueError("the criterion needs at least one component")
     if composition is None:
@@ -167,10 +176,11 @@ def check_weakly_hierarchic(
             equations=composition.equations,
             types=dict(composition.types),
         )
+    analysis_of = context.analysis if context is not None else ProcessAnalysis
 
     verdict = CompositionVerdict(composition_name=composition.name)
     for component in components:
-        analysis = ProcessAnalysis(component)
+        analysis = analysis_of(component)
         verdict.components.append(
             ComponentDiagnosis(
                 name=component.name,
@@ -180,7 +190,7 @@ def check_weakly_hierarchic(
             )
         )
 
-    composition_analysis = ProcessAnalysis(composition)
+    composition_analysis = analysis_of(composition)
     verdict.analysis = composition_analysis
     verdict.composition_well_clocked = composition_analysis.is_well_clocked()
     verdict.composition_acyclic = composition_analysis.is_acyclic()
@@ -197,3 +207,50 @@ def compose_and_check(
 ) -> CompositionVerdict:
     """Compose the components by name-matching and run the static criterion."""
     return check_weakly_hierarchic(components, composition_name=name)
+
+
+def verify_weakly_hierarchic(
+    components: Sequence[NormalizedProcess],
+    composition: Optional[NormalizedProcess] = None,
+    composition_name: Optional[str] = None,
+    context=None,
+) -> Verdict:
+    """Definition 12 / Theorem 1 as a :class:`~repro.api.results.Verdict`.
+
+    The underlying :class:`CompositionVerdict` (with its per-component
+    diagnoses and reported clock constraints) is kept in ``report``.
+    """
+    with stopwatch() as elapsed:
+        report = check_weakly_hierarchic(components, composition, composition_name, context)
+    diagnostics = [
+        Diagnostic(
+            f"component {component.name} endochronous (Property 2)",
+            component.endochronous(),
+            f"compilable={component.compilable}, roots={component.roots}",
+        )
+        for component in report.components
+    ]
+    diagnostics.append(
+        Diagnostic("composition well-clocked (Definition 7)", report.composition_well_clocked)
+    )
+    diagnostics.append(
+        Diagnostic("composition acyclic (Definition 8)", report.composition_acyclic)
+    )
+    if report.reported_constraints:
+        diagnostics.append(
+            Diagnostic(
+                "reported clock constraints",
+                True,
+                "; ".join(report.reported_constraints),
+                witness=tuple(report.reported_constraints),
+            )
+        )
+    return Verdict(
+        prop="weakly-hierarchic",
+        subject=report.composition_name,
+        holds=report.weakly_hierarchic(),
+        method="static",
+        diagnostics=diagnostics,
+        cost=Cost(seconds=elapsed[0], components=len(report.components)),
+        report=report,
+    )

@@ -18,10 +18,33 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.api.results import Cost, Diagnostic, Verdict, stopwatch
 from repro.lang.normalize import NormalizedProcess
 from repro.mocc.behaviors import Behavior, clock_equivalent, flow_equivalent
 from repro.properties.compilable import ProcessAnalysis
 from repro.semantics.denotational import enumerate_behaviors
+
+
+def verify_endochrony(
+    process: NormalizedProcess, analysis: Optional[ProcessAnalysis] = None
+) -> Verdict:
+    """Property 2 as a :class:`~repro.api.results.Verdict`: compilable ∧ hierarchic."""
+    analysis = analysis or ProcessAnalysis(process)
+    with stopwatch() as elapsed:
+        compilable = analysis.is_compilable()
+        roots = analysis.root_count()
+    return Verdict(
+        prop="endochrony",
+        subject=process.name,
+        holds=compilable and roots == 1,
+        method="static",
+        diagnostics=[
+            Diagnostic("compilable (Definition 10)", compilable),
+            Diagnostic("hierarchic (Definition 11)", roots == 1, f"{roots} roots"),
+        ],
+        cost=Cost(seconds=elapsed[0]),
+        report=analysis,
+    )
 
 
 def is_hierarchic(process: NormalizedProcess, analysis: Optional[ProcessAnalysis] = None) -> bool:
@@ -31,9 +54,8 @@ def is_hierarchic(process: NormalizedProcess, analysis: Optional[ProcessAnalysis
 
 
 def is_endochronous(process: NormalizedProcess, analysis: Optional[ProcessAnalysis] = None) -> bool:
-    """Property 2: compilable and hierarchic implies endochronous."""
-    analysis = analysis or ProcessAnalysis(process)
-    return analysis.is_compilable() and analysis.is_hierarchic()
+    """Property 2 as a bare boolean (shim over :func:`verify_endochrony`)."""
+    return verify_endochrony(process, analysis).holds
 
 
 @dataclass

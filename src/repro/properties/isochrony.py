@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.api.results import Cost, Diagnostic, Verdict, stopwatch
 from repro.lang.normalize import NormalizedProcess
 from repro.mocc.processes import (
     DenotationalProcess,
@@ -137,4 +138,34 @@ def check_isochrony(
         synchronous_classes=len(synchronous_classes),
         asynchronous_classes=len(asynchronous_classes),
         missing_in_synchronous=missing,
+    )
+
+
+def verify_isochrony(
+    left: NormalizedProcess,
+    right: NormalizedProcess,
+    input_flows: Mapping[str, Sequence[object]],
+    max_instants: int = 8,
+    signals: Optional[Iterable[str]] = None,
+) -> Verdict:
+    """Definition 3 on bounded traces as a :class:`~repro.api.results.Verdict`."""
+    with stopwatch() as elapsed:
+        report = check_isochrony(left, right, input_flows, max_instants, signals)
+    witness = report.missing_in_synchronous[0] if report.missing_in_synchronous else None
+    return Verdict(
+        prop="isochrony",
+        subject=f"{report.left_name} || {report.right_name}",
+        holds=report.holds,
+        method="explicit",
+        diagnostics=[
+            Diagnostic(
+                "async flows ⊆ sync flows (Definition 3)",
+                report.holds,
+                f"sync {report.synchronous_classes} / async "
+                f"{report.asynchronous_classes} flow classes",
+                witness=witness,
+            )
+        ],
+        cost=Cost(seconds=elapsed[0], components=2),
+        report=report,
     )

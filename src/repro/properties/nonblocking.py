@@ -11,10 +11,37 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api.results import Cost, Verdict, diagnostics_from_invariants, stopwatch
 from repro.clocks.hierarchy import ClockHierarchy
 from repro.lang.normalize import NormalizedProcess
 from repro.mc.explicit import ExplicitStateChecker, InvariantResult
 from repro.mc.transition import ReactionLTS, build_lts
+
+
+def verify_non_blocking(
+    process: NormalizedProcess,
+    lts: Optional[ReactionLTS] = None,
+    hierarchy: Optional[ClockHierarchy] = None,
+    max_states: int = 512,
+) -> Verdict:
+    """Definition 4 as a :class:`~repro.api.results.Verdict` (explicit exploration)."""
+    with stopwatch() as elapsed:
+        if lts is None:
+            lts = build_lts(process, hierarchy, max_states=max_states)
+        result = ExplicitStateChecker(lts).is_non_blocking()
+    return Verdict(
+        prop="non-blocking",
+        subject=process.name,
+        holds=result.holds,
+        method="explicit",
+        diagnostics=diagnostics_from_invariants([result]),
+        cost=Cost(
+            seconds=elapsed[0],
+            states=lts.state_count(),
+            transitions=lts.transition_count(),
+        ),
+        report=result,
+    )
 
 
 def is_non_blocking(
@@ -23,7 +50,6 @@ def is_non_blocking(
     hierarchy: Optional[ClockHierarchy] = None,
     max_states: int = 512,
 ) -> InvariantResult:
-    """Definition 4 over the reachable states of the boolean abstraction."""
-    if lts is None:
-        lts = build_lts(process, hierarchy, max_states=max_states)
-    return ExplicitStateChecker(lts).is_non_blocking()
+    """Definition 4, old entry point (shim over :func:`verify_non_blocking`)."""
+    verdict = verify_non_blocking(process, lts, hierarchy, max_states)
+    return verdict.report

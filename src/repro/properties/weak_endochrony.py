@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.api.results import Cost, Verdict, diagnostics_from_invariants, stopwatch
 from repro.clocks.hierarchy import ClockHierarchy
 from repro.lang.normalize import NormalizedProcess
 from repro.mc.explicit import ExplicitStateChecker, InvariantResult
@@ -197,4 +198,45 @@ def model_check_weak_endochrony(
     flow_signals = tuple(flow_signals) or tuple(process.outputs)
     return check_weak_endochrony_invariants(
         lts, analysis.hierarchy.root_signals(), flow_signals
+    )
+
+
+def verify_weak_endochrony(
+    process: NormalizedProcess,
+    analysis: Optional[ProcessAnalysis] = None,
+    lts: Optional[ReactionLTS] = None,
+    method: str = "explicit",
+    max_states: int = 512,
+) -> Verdict:
+    """Definition 2 as a :class:`~repro.api.results.Verdict`.
+
+    ``method="explicit"`` checks the diamond axioms of Definition 2 directly
+    on the reaction LTS (:func:`check_weak_endochrony`); ``method="symbolic"``
+    uses the invariant formulation of Section 4.1 over the hierarchy roots
+    (:func:`model_check_weak_endochrony`) — the form the paper would hand to
+    Sigali, and the exploration whose cost Theorem 1 avoids.
+    """
+    with stopwatch() as elapsed:
+        if method == "explicit":
+            report = check_weak_endochrony(process, lts=lts, max_states=max_states)
+        elif method == "symbolic":
+            report = model_check_weak_endochrony(
+                process, analysis=analysis, lts=lts, max_states=max_states
+            )
+        else:
+            raise ValueError(
+                f"unknown weak endochrony method {method!r}; use 'explicit' or 'symbolic'"
+            )
+    return Verdict(
+        prop="weak-endochrony",
+        subject=process.name,
+        holds=report.holds(),
+        method=method,
+        diagnostics=diagnostics_from_invariants(report.results),
+        cost=Cost(
+            seconds=elapsed[0],
+            states=report.states_explored,
+            transitions=report.transitions_explored,
+        ),
+        report=report,
     )

@@ -15,7 +15,9 @@ One entry point for the paper's whole pipeline::
 * :mod:`repro.api.results` — the uniform :class:`Verdict` / :class:`Diagnostic`
   result model;
 * :mod:`repro.api.backends` — dispatch between the static criterion and the
-  explicit / symbolic model checkers;
+  on-the-fly explicit / symbolic model checkers;
+* :mod:`repro.api.parallel` — process-pool sharding behind
+  ``Design.verify_many(parallel=N)`` and ``Design.map_components``;
 * :mod:`repro.api.deploy` — the four deployment schemes behind one
   :class:`Deployment` interface.
 

@@ -18,7 +18,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.api.results import Cost, Diagnostic, Verdict, stopwatch
-from repro.mc.symbolic import SymbolicChecker, event_variable, next_variable
+from repro.mc.onthefly import OnTheFlyChecker
+from repro.mc.symbolic import (
+    SymbolicChecker,
+    SymbolicProductChecker,
+    event_variable,
+    next_variable,
+)
 from repro.properties.compilable import verify_compilable, verify_hierarchic
 from repro.properties.composition import verify_weakly_hierarchic
 from repro.properties.endochrony import check_endochrony_on_traces, verify_endochrony
@@ -91,11 +97,81 @@ def _retitle(verdict: Verdict, prop: str, note: str) -> Verdict:
     )
 
 
+def _engine(design: "Design", max_states: int) -> OnTheFlyChecker:
+    """The design's on-the-fly engine: a lazy product of the components.
+
+    Falls back to a lazy view of the composed process when the components
+    cannot form a product (shared register names after composition by
+    name-matching is the only such case).
+    """
+    components = design.components
+    if len(components) >= 2:
+        try:
+            return design.context.onthefly(
+                list(components),
+                max_states,
+                name=design.composition.name,
+                types=design.composition.types,
+            )
+        except ValueError:
+            pass
+    return design.context.onthefly([design.composition], max_states)
+
+
 def _symbolic_non_blocking(design: "Design", max_states: int) -> Verdict:
-    """Definition 4 decided on BDDs: no reachable state without a successor."""
+    """Definition 4 decided on BDDs: no reachable state without a successor.
+
+    For a multi-component design the product transition relation is the
+    conjunction of the per-component relations (each component LTS explored
+    individually) — the composed state space is never enumerated.  For a
+    single component the explicit LTS is encoded as before.
+    """
+    from repro.mc.onthefly import ProductLTS
+
+    context = design.context
+    engine = _engine(design, max_states) if len(design.components) >= 2 else None
+    if engine is not None and isinstance(engine.lazy, ProductLTS):
+        try:
+            with stopwatch() as elapsed:
+                # encode the same (re-typed) abstractions the lazy product
+                # joins, so the two engines agree on the product semantics
+                component_ltss = [
+                    context.lts(component, max_states)
+                    for component in engine.lazy.abstracted
+                ]
+                checker = SymbolicProductChecker(
+                    component_ltss,
+                    manager=context.manager,
+                    components=engine.lazy.abstracted,
+                )
+                result = checker.is_non_blocking()
+                states = checker.reachable_count()
+                nodes = checker.bdd_nodes()
+            return Verdict(
+                prop="non-blocking",
+                subject=design.composition.name,
+                holds=result.holds,
+                method="symbolic",
+                diagnostics=[
+                    Diagnostic(
+                        "no reachable deadlock state (Definition 4, product relation)",
+                        result.holds,
+                        result.counterexample or f"{states} reachable states (BDD)",
+                    )
+                ],
+                cost=Cost(
+                    seconds=elapsed[0],
+                    components=len(design.components),
+                    bdd_nodes=nodes,
+                    state_bound=max_states,
+                ),
+                report=result,
+            )
+        except ValueError:
+            pass  # non-product-able components: encode the composition instead
     with stopwatch() as elapsed:
-        lts = design.context.lts(design.composition, max_states)
-        checker = SymbolicChecker(lts, manager=design.context.manager)
+        lts = context.lts(design.composition, max_states)
+        checker = SymbolicChecker(lts, manager=context.manager)
         reachable = checker.reachable_states()
         step_variables = [next_variable(register) for register in checker.registers]
         step_variables += [event_variable(signal) for signal in checker.signals]
@@ -103,6 +179,7 @@ def _symbolic_non_blocking(design: "Design", max_states: int) -> Verdict:
         deadlocks = reachable & ~has_successor
         holds = not deadlocks.is_satisfiable()
         states = checker.reachable_count()
+        nodes = checker.bdd_nodes()
     return Verdict(
         prop="non-blocking",
         subject=design.composition.name,
@@ -115,7 +192,12 @@ def _symbolic_non_blocking(design: "Design", max_states: int) -> Verdict:
                 f"{states} reachable states (BDD)",
             )
         ],
-        cost=Cost(seconds=elapsed[0], states=states, transitions=lts.transition_count()),
+        cost=Cost(
+            seconds=elapsed[0],
+            transitions=lts.transition_count(),
+            bdd_nodes=nodes,
+            state_bound=max_states,
+        ),
         report=deadlocks,
     )
 
@@ -200,33 +282,80 @@ def verify(design: "Design", prop: str, method: str = "auto", **options) -> Verd
 
     if prop == "weak-endochrony":
         def explicit() -> Verdict:
+            # Definition 2 axioms driven by the on-the-fly engine: the lazy
+            # product expands successors only as the axioms visit states and
+            # stops at the first violating reaction.
             return verify_weak_endochrony(
                 design.composition,
                 analysis=design.analysis,
-                lts=context.lts(design.composition, max_states),
+                checker=_engine(design, max_states),
                 method="explicit",
                 max_states=max_states,
             )
 
         def symbolic() -> Verdict:
-            lts = context.lts(design.composition, max_states)
+            engine = _engine(design, max_states)
             verdict = verify_weak_endochrony(
                 design.composition,
                 analysis=design.analysis,
-                lts=lts,
+                checker=engine,
                 method="symbolic",
                 max_states=max_states,
             )
             # cross-check the explored state count with the BDD reachability
             # of Section 4.1's symbolic formulation, on the shared manager
-            checker = SymbolicChecker(lts, manager=context.manager)
-            verdict.diagnostics.append(
-                Diagnostic(
-                    "symbolic reachability agrees with exploration",
-                    checker.reachable_count() == lts.state_count(),
-                    f"{checker.reachable_count()} reachable states (BDD)",
+            from repro.mc.onthefly import ProductLTS
+
+            if (
+                isinstance(engine.lazy, ProductLTS)
+                and not engine.truncated
+                and verdict.holds
+            ):
+                try:
+                    component_ltss = [
+                        context.lts(component, max_states)
+                        for component in engine.lazy.abstracted
+                    ]
+                    checker = SymbolicProductChecker(
+                        component_ltss,
+                        manager=context.manager,
+                        components=engine.lazy.abstracted,
+                    )
+                    reachable = checker.reachable_count()
+                    verdict.diagnostics.append(
+                        Diagnostic(
+                            "symbolic product reachability agrees with exploration",
+                            reachable == engine.states_expanded,
+                            f"{reachable} reachable states (BDD product relation)",
+                        )
+                    )
+                    verdict.cost = Cost(
+                        seconds=verdict.cost.seconds,
+                        states=verdict.cost.states,
+                        transitions=verdict.cost.transitions,
+                        state_bound=verdict.cost.state_bound,
+                        bdd_nodes=checker.bdd_nodes(),
+                        components=len(design.components),
+                    )
+                except ValueError:
+                    pass
+            elif len(design.components) == 1:
+                lts = context.lts(design.composition, max_states)
+                checker = SymbolicChecker(lts, manager=context.manager)
+                verdict.diagnostics.append(
+                    Diagnostic(
+                        "symbolic reachability agrees with exploration",
+                        checker.reachable_count() == lts.state_count(),
+                        f"{checker.reachable_count()} reachable states (BDD)",
+                    )
                 )
-            )
+                verdict.cost = Cost(
+                    seconds=verdict.cost.seconds,
+                    states=verdict.cost.states,
+                    transitions=verdict.cost.transitions,
+                    state_bound=verdict.cost.state_bound,
+                    bdd_nodes=checker.bdd_nodes(),
+                )
             return verdict
 
         if method == "static":
@@ -252,9 +381,10 @@ def verify(design: "Design", prop: str, method: str = "auto", **options) -> Verd
 
     if prop == "non-blocking":
         def explicit() -> Verdict:
+            # frontier search with early termination on the first deadlock
             return verify_non_blocking(
                 design.composition,
-                lts=context.lts(design.composition, max_states),
+                checker=_engine(design, max_states),
                 max_states=max_states,
             )
 
@@ -297,6 +427,7 @@ def verify(design: "Design", prop: str, method: str = "auto", **options) -> Verd
             right,
             input_flows,
             max_instants=int(options.get("max_instants", 8)),
+            lazy=bool(options.get("lazy", True)),
         )
 
     if method == "static":

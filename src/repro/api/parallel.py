@@ -1,0 +1,103 @@
+"""Process-pool sharding for independent verification queries.
+
+``Design.verify_many(props, parallel=N)`` and
+``Design.map_components(prop, parallel=N)`` shard their queries over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker process
+builds the design *once* (in the pool initializer) and keeps its own
+memoized :class:`~repro.api.session.AnalysisContext`, so every query routed
+to that worker reuses the worker's normalizations, clock analyses, LTSs and
+BDD manager — the same sharing the sequential session enjoys, minus the
+cross-worker overlap.
+
+Verdicts crossing the process boundary are *sanitized*: the ``report``
+payload (which can hold a whole :class:`ProcessAnalysis` and its BDD
+manager) is dropped, and any diagnostic witness that does not pickle is
+replaced by its ``repr``.  Callers that need full reports should run
+sequentially (``parallel=None``), where verdicts are returned as-is.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.results import Diagnostic, Verdict
+
+#: one task: (component index or None for the whole design, prop, method, options)
+QueryTask = Tuple[Optional[int], str, str, Dict[str, object]]
+
+_WORKER: Dict[str, object] = {}
+
+
+def _picklable(value):
+    if value is None:
+        return None
+    try:
+        pickle.dumps(value)
+        return value
+    except Exception:
+        return repr(value)
+
+
+def sanitize_verdict(verdict: Verdict) -> Verdict:
+    """A copy of ``verdict`` safe to send across a process boundary."""
+    diagnostics = [
+        Diagnostic(d.name, d.holds, d.detail, _picklable(d.witness))
+        for d in verdict.diagnostics
+    ]
+    return Verdict(
+        prop=verdict.prop,
+        subject=verdict.subject,
+        holds=verdict.holds,
+        method=verdict.method,
+        diagnostics=diagnostics,
+        cost=verdict.cost,
+        report=None,
+    )
+
+
+def _initialize_worker(components, name: str) -> None:
+    from repro.api.session import Design
+
+    design = Design(name=name, components=list(components))
+    _WORKER["design"] = design
+    _WORKER["subdesigns"] = {}
+
+
+def _run_query(task: QueryTask) -> Verdict:
+    from repro.api.session import Design
+
+    index, prop, method, options = task
+    design = _WORKER["design"]
+    if index is None:
+        target = design
+    else:
+        subdesigns = _WORKER["subdesigns"]
+        target = subdesigns.get(index)
+        if target is None:
+            # single-component design sharing the worker's context/memo
+            target = Design.from_process(design.components[index], context=design.context)
+            subdesigns[index] = target
+    return sanitize_verdict(target.verify(prop, method, **options))
+
+
+def run_queries(
+    components: Sequence[object],
+    name: str,
+    tasks: Sequence[QueryTask],
+    parallel: int,
+) -> List[Verdict]:
+    """Run the query tasks over a pool of ``parallel`` worker processes.
+
+    Results come back in task order.  The pool is created per call: the
+    dominant cost of a batch worth parallelizing is the queries themselves,
+    and a fresh pool keeps worker state coupled to the design it was
+    initialized with.
+    """
+    with ProcessPoolExecutor(
+        max_workers=parallel,
+        initializer=_initialize_worker,
+        initargs=(tuple(components), name),
+    ) as pool:
+        return list(pool.map(_run_query, tasks))

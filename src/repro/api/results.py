@@ -54,23 +54,45 @@ class Diagnostic:
 class Cost:
     """What it took to decide a property — the paper's static-vs-MC argument.
 
-    ``states`` / ``transitions`` are the explored reaction space (zero for the
-    purely static criterion, which is the whole point of Theorem 1);
-    ``components`` counts the per-component analyses a compositional check
-    ran.
+    Field semantics (each documented in :doc:`docs/api.md` as well):
+
+    * ``seconds`` — wall-clock time of the verification step;
+    * ``states`` — the states the query actually *visited* (successor sets
+      computed on demand, or served from the session engine's memo).  Zero
+      for the purely static criterion — the whole point of Theorem 1 — and
+      zero for symbolic runs, which never touch explicit states (their
+      footprint is ``bdd_nodes``);
+    * ``transitions`` — the transitions enumerated over the visited states;
+    * ``state_bound`` — the exploration budget (``max_states``) the query ran
+      under, when one applied.  ``states < state_bound`` on a conclusive
+      on-the-fly verdict is the early-termination win: the engine answered
+      without filling its budget;
+    * ``bdd_nodes`` — for symbolic runs, the BDD nodes of the encoded model
+      (transition relation plus reachable set) instead of a misleading
+      ``0 states``;
+    * ``components`` — the per-component analyses a compositional check ran.
     """
 
     seconds: float = 0.0
     states: int = 0
     transitions: int = 0
     components: int = 0
+    state_bound: int = 0
+    bdd_nodes: int = 0
 
     def __str__(self) -> str:
         parts = [f"{self.seconds * 1000:.1f} ms"]
         if self.states:
-            parts.append(f"{self.states} states")
+            visited = f"{self.states} states visited"
+            if self.state_bound:
+                visited += f" / bound {self.state_bound}"
+            parts.append(visited)
+        elif self.state_bound:
+            parts.append(f"0 states visited / bound {self.state_bound}")
         if self.transitions:
             parts.append(f"{self.transitions} transitions")
+        if self.bdd_nodes:
+            parts.append(f"{self.bdd_nodes} BDD nodes")
         if self.components:
             parts.append(f"{self.components} components")
         return ", ".join(parts)

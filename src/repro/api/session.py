@@ -17,6 +17,13 @@ The same context makes composing N components cheap: the per-component
 analyses built for the compositional criterion are the very objects reused
 by code generation and by later verification calls, instead of being
 re-derived per query as with the historical flat entry points.
+
+Batched workloads go through :meth:`Design.verify_many` (several properties
+in one call) and :meth:`Design.map_components` (one property on every
+component); both accept ``parallel=N`` to shard the independent queries
+over a process pool (see :mod:`repro.api.parallel`).  Model-checking
+queries run on the on-the-fly engine of :mod:`repro.mc.onthefly`, served
+and memoized by :meth:`AnalysisContext.onthefly`.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from repro.lang.ast import Composition, Instantiation, ProcessDefinition, Restri
 from repro.lang.builder import ProcessBuilder
 from repro.lang.normalize import NormalizedProcess, normalize
 from repro.lang.parser import parse_program
+from repro.mc.onthefly import LazyReactionLTS, OnTheFlyChecker, ProductLTS
 from repro.mc.transition import ReactionLTS, build_lts
 from repro.properties.compilable import ProcessAnalysis
 from repro.properties.composition import CompositionVerdict, check_weakly_hierarchic
@@ -64,6 +72,7 @@ class AnalysisContext:
         self._processes: Dict[int, NormalizedProcess] = {}
         self._analyses: Dict[int, ProcessAnalysis] = {}
         self._ltss: Dict[Tuple[int, int], ReactionLTS] = {}
+        self._engines: Dict[Tuple, OnTheFlyChecker] = {}
         self.hits = 0
         self.misses = 0
 
@@ -125,6 +134,38 @@ class AnalysisContext:
         self._ltss[key] = lts
         return lts
 
+    def onthefly(
+        self,
+        components: Sequence[ProcessLike],
+        max_states: int = 512,
+        name: Optional[str] = None,
+        types: Optional[Mapping[str, str]] = None,
+    ) -> OnTheFlyChecker:
+        """An on-the-fly engine over the components, memoized per state bound.
+
+        With one component this is a lazy view of its reaction LTS; with
+        several it is the lazy synchronous :class:`ProductLTS` that joins
+        per-component reactions on demand and never materializes the
+        composed state space.  The engine is a monotone cache: queries
+        issued through the same context keep extending one exploration.
+        """
+        normalized_components = [self.normalized(component) for component in components]
+        types_key = tuple(sorted(types.items())) if types is not None else None
+        key = (tuple(id(c) for c in normalized_components), max_states, name, types_key)
+        cached = self._engines.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        hierarchies = [self.analysis(c).hierarchy for c in normalized_components]
+        if len(normalized_components) == 1:
+            lazy = LazyReactionLTS(normalized_components[0], hierarchies[0])
+        else:
+            lazy = ProductLTS(normalized_components, hierarchies, name=name, types=types)
+        engine = OnTheFlyChecker(lazy, max_states=max_states)
+        self._engines[key] = engine
+        return engine
+
     def _definition_from_source(self, source: str) -> ProcessDefinition:
         definitions = parse_program(source)
         self.register(definitions)
@@ -143,6 +184,7 @@ class AnalysisContext:
             "misses": self.misses,
             "analyses": len(self._analyses),
             "ltss": len(self._ltss),
+            "engines": len(self._engines),
             "bdd_variables": len(self.manager.variables()),
         }
 
@@ -217,6 +259,7 @@ class Design:
         self._composition: Optional[NormalizedProcess] = None
         self._criterion: Optional[CompositionVerdict] = None
         self._verdicts: Dict[Tuple[str, str, str], object] = {}
+        self._component_designs: Dict[int, "Design"] = {}
         for component in components:
             self.add_component(component)
         if composition is not None:
@@ -292,6 +335,7 @@ class Design:
         self._composition = None
         self._criterion = None
         self._verdicts.clear()
+        self._component_designs.clear()
         return self
 
     @property
@@ -357,6 +401,84 @@ class Design:
         verdict = dispatch(self, prop, method, **options)
         self._verdicts[key] = verdict
         return verdict
+
+    @staticmethod
+    def _query_spec(spec, default_method: str, common: Mapping[str, object]):
+        """Normalize one ``verify_many`` spec to ``(prop, method, options)``.
+
+        Accepted forms: ``"prop"``, ``("prop", "method")``,
+        ``("prop", "method", {options})`` and
+        ``{"prop": ..., "method": ..., **options}``.
+        """
+        if isinstance(spec, str):
+            return spec, default_method, dict(common)
+        if isinstance(spec, Mapping):
+            options = {**common, **spec}
+            prop = options.pop("prop")
+            method = options.pop("method", default_method)
+            return prop, method, options
+        spec = tuple(spec)
+        if len(spec) == 2:
+            prop, method = spec
+            return prop, method, dict(common)
+        if len(spec) == 3:
+            prop, method, options = spec
+            return prop, method, {**common, **options}
+        raise ValueError(f"unsupported verify_many spec {spec!r}")
+
+    def verify_many(
+        self, props: Iterable[object], parallel: Optional[int] = None,
+        method: str = "auto", **common_options
+    ) -> List[object]:
+        """Check several properties of the design; one Verdict per spec, in order.
+
+        ``props`` is a list of property specs (see :meth:`_query_spec`);
+        ``method`` and ``common_options`` apply to every spec that does not
+        override them.  With ``parallel=N > 1`` the independent queries are
+        sharded over ``N`` worker processes, each holding its own memoized
+        :class:`AnalysisContext`; the returned verdicts are then *sanitized*
+        (``report`` dropped, unpicklable witnesses stringified — see
+        :mod:`repro.api.parallel`).  Sequentially (the default), queries
+        share this design's context and cache, and verdicts are complete.
+        """
+        specs = [self._query_spec(spec, method, common_options) for spec in props]
+        if not parallel or parallel <= 1 or len(specs) <= 1:
+            return [self.verify(prop, m, **options) for prop, m, options in specs]
+        from repro.api.parallel import run_queries
+
+        tasks = [(None, prop, m, options) for prop, m, options in specs]
+        return run_queries(self._components, self.name, tasks, parallel)
+
+    def component_design(self, index: int) -> "Design":
+        """A cached single-component design over component ``index``, sharing
+        this design's :class:`AnalysisContext`."""
+        design = self._component_designs.get(index)
+        if design is None:
+            design = Design.from_process(self._components[index], context=self.context)
+            self._component_designs[index] = design
+        return design
+
+    def map_components(
+        self, prop: str, method: str = "auto", parallel: Optional[int] = None, **options
+    ) -> List[object]:
+        """Check ``prop`` on every component separately; one Verdict per component.
+
+        The per-component queries are independent, which makes this the
+        natural sharding unit of the compositional criterion: with
+        ``parallel=N`` they run over ``N`` worker processes (verdicts
+        sanitized as in :meth:`verify_many`), otherwise sequentially through
+        this design's shared context.
+        """
+        indices = range(len(self._components))
+        if not parallel or parallel <= 1 or len(self._components) <= 1:
+            return [
+                self.component_design(index).verify(prop, method, **options)
+                for index in indices
+            ]
+        from repro.api.parallel import run_queries
+
+        tasks = [(index, prop, method, dict(options)) for index in indices]
+        return run_queries(self._components, self.name, tasks, parallel)
 
     def compile(self, strategy: str = "sequential", **options):
         """Deploy the design; returns a :class:`~repro.api.deploy.Deployment`.

@@ -3,14 +3,17 @@
 The paper checks weak endochrony by model checking three invariants over the
 boolean abstraction of a Signal process (Section 4.1).  This package builds
 that abstraction as a finite labelled transition system whose labels are
-reactions, explores it explicitly or symbolically (with BDDs), and implements
-the ``StateIndependent``, ``OrderIndependent`` and ``FlowIndependent``
-invariants used by Property 3.
+reactions, explores it eagerly (:mod:`repro.mc.transition`), on the fly with
+lazy product construction and early termination (:mod:`repro.mc.onthefly`),
+or symbolically with BDDs (:mod:`repro.mc.symbolic`), and implements the
+``StateIndependent``, ``OrderIndependent`` and ``FlowIndependent``
+invariants used by Property 3 (:mod:`repro.mc.invariants`).
 """
 
 from repro.mc.transition import BooleanAbstraction, ReactionChoice, ReactionLTS, build_lts
 from repro.mc.explicit import ExplicitStateChecker, InvariantResult
-from repro.mc.symbolic import SymbolicChecker
+from repro.mc.onthefly import LazyReactionLTS, OnTheFlyChecker, ProductLTS
+from repro.mc.symbolic import SymbolicChecker, SymbolicProductChecker
 from repro.mc.invariants import (
     check_state_independent,
     check_order_independent,
@@ -26,7 +29,11 @@ __all__ = [
     "build_lts",
     "ExplicitStateChecker",
     "InvariantResult",
+    "LazyReactionLTS",
+    "OnTheFlyChecker",
+    "ProductLTS",
     "SymbolicChecker",
+    "SymbolicProductChecker",
     "check_state_independent",
     "check_order_independent",
     "check_flow_independent",

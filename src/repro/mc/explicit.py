@@ -1,4 +1,15 @@
-"""Explicit-state exploration and invariant checking over reaction LTSs."""
+"""Explicit-state queries and invariant checking over reaction LTSs.
+
+Implements the explicit side of Section 4's model checking: determinism and
+the non-blocking property of Definition 4 are decided by scanning an
+(eagerly explored) :class:`~repro.mc.transition.ReactionLTS`.  The
+Definition 2 axioms of :mod:`repro.properties.weak_endochrony` and the
+Section 4.1 invariants of :mod:`repro.mc.invariants` are written against the
+query interface of :class:`ExplicitStateChecker` (``transitions_from`` /
+``successor`` / ``enables`` / ``iter_states``), which the on-the-fly engine
+of :mod:`repro.mc.onthefly` implements as well — the same checks then run
+lazily with early termination.
+"""
 
 from __future__ import annotations
 
@@ -34,9 +45,17 @@ class ExplicitStateChecker:
         for transition in lts.transitions:
             self._transitions_by_state.setdefault(transition.source, []).append(transition)
 
+    @property
+    def process_name(self) -> str:
+        return self.lts.process_name
+
     # -- basic queries ----------------------------------------------------------
     def reachable_states(self) -> List[State]:
         return list(self.lts.states)
+
+    def iter_states(self):
+        """The explored states, in exploration order (the lazy-engine interface)."""
+        return iter(self.lts.states)
 
     def transitions_from(self, state: State) -> List[Transition]:
         return self._transitions_by_state.get(state, [])

@@ -1,6 +1,7 @@
-"""The weak-endochrony invariants of Section 4.1.
+"""The weak-endochrony invariants of Section 4.1 (Property 3).
 
-The paper expresses weak endochrony of a compilable process as three
+Implements the model-checking formulation the paper targets at Sigali: weak
+endochrony of a compilable process is expressed as three
 invariants over pairs of *root* clocks ``x``, ``y`` (and, for the third, an
 arbitrary third signal ``z``), checked by the Sigali model checker:
 
@@ -14,7 +15,11 @@ arbitrary third signal ``z``), checked by the Sigali model checker:
 
 Here the invariants are checked on the reaction LTS of the boolean
 abstraction; each function returns an :class:`InvariantResult` with a
-counterexample state when the invariant fails.
+counterexample state when the invariant fails.  Every function quantifies
+over ``checker.iter_states()``, so passing an
+:class:`~repro.mc.onthefly.OnTheFlyChecker` makes the same check run
+on-the-fly: a failing invariant stops the exploration at the violating
+state instead of forcing the full product first.
 """
 
 from __future__ import annotations
@@ -45,12 +50,12 @@ def _reactions_with_both(checker: ExplicitStateChecker, state: State, first: str
 
 
 def check_state_independent(
-    lts: ReactionLTS, x: str, y: str, checker: Optional[ExplicitStateChecker] = None
+    lts: Optional[ReactionLTS], x: str, y: str, checker=None
 ) -> InvariantResult:
     """Property (1) of Section 4.1 for the pair of signals ``(x, y)``."""
     name = f"StateIndependent({x}, {y})"
     checker = checker or ExplicitStateChecker(lts)
-    for state in lts.states:
+    for state in checker.iter_states():
         for first in _reactions_with(checker, state, x, y):
             successor = checker.successor(state, first)
             if successor is None:
@@ -68,12 +73,12 @@ def check_state_independent(
 
 
 def check_order_independent(
-    lts: ReactionLTS, x: str, y: str, checker: Optional[ExplicitStateChecker] = None
+    lts: Optional[ReactionLTS], x: str, y: str, checker=None
 ) -> InvariantResult:
     """Property (2) of Section 4.1 for the pair of signals ``(x, y)``."""
     name = f"OrderIndependent({x}, {y})"
     checker = checker or ExplicitStateChecker(lts)
-    for state in lts.states:
+    for state in checker.iter_states():
         x_alone = _reactions_with(checker, state, x, y)
         y_alone = _reactions_with(checker, state, y, x)
         if x_alone and y_alone and not _reactions_with_both(checker, state, x, y):
@@ -86,16 +91,16 @@ def check_order_independent(
 
 
 def check_flow_independent(
-    lts: ReactionLTS,
+    lts: Optional[ReactionLTS],
     x: str,
     y: str,
     z: str,
-    checker: Optional[ExplicitStateChecker] = None,
+    checker=None,
 ) -> InvariantResult:
     """Property (3) of Section 4.1 for the triple ``(x, y, z)``."""
     name = f"FlowIndependent({x}, {y}, {z})"
     checker = checker or ExplicitStateChecker(lts)
-    for state in lts.states:
+    for state in checker.iter_states():
         x_alone = _reactions_with(checker, state, x, y)
         y_alone = _reactions_with(checker, state, y, x)
         if not (x_alone and y_alone):
@@ -150,9 +155,10 @@ class WeakEndochronyInvariantReport:
 
 
 def check_weak_endochrony_invariants(
-    lts: ReactionLTS,
+    lts: Optional[ReactionLTS],
     root_signals: Sequence[Sequence[str]],
     flow_signals: Iterable[str] = (),
+    checker=None,
 ) -> WeakEndochronyInvariantReport:
     """Check properties (1)-(3) for every pair of root representatives.
 
@@ -160,19 +166,43 @@ def check_weak_endochrony_invariants(
     whose clock belongs to that root class; the check uses one representative
     per root, as the paper does.  ``flow_signals`` are the extra signals ``z``
     used by ``FlowIndependent`` (typically the outputs of the process).
+
+    ``checker`` may be any object with the explicit-checker interface — in
+    particular an :class:`~repro.mc.onthefly.OnTheFlyChecker`, in which case
+    the invariants drive a lazy product exploration instead of a
+    pre-materialized LTS.
     """
-    report = WeakEndochronyInvariantReport(process_name=lts.process_name)
-    report.states_explored = lts.state_count()
-    report.transitions_explored = lts.transition_count()
-    checker = ExplicitStateChecker(lts)
+    # on-the-fly runs return at the first failing invariant: continuing to
+    # sweep the remaining pairs would force the full exploration the lazy
+    # engine exists to avoid (the eager route keeps reporting all pairs)
+    stop_at_first_failure = checker is not None
+    checker = checker or ExplicitStateChecker(lts)
+    report = WeakEndochronyInvariantReport(process_name=checker.process_name)
+
+    def finalize() -> WeakEndochronyInvariantReport:
+        if lts is not None:
+            report.states_explored = lts.state_count()
+            report.transitions_explored = lts.transition_count()
+        else:
+            report.states_explored = checker.states_expanded
+            report.transitions_explored = checker.transitions_expanded
+        return report
+
+    def record(result: InvariantResult) -> bool:
+        report.results.append(result)
+        return stop_at_first_failure and not result.holds
+
     representatives = [signals[0] for signals in root_signals if signals]
     for index, x in enumerate(representatives):
         for y in representatives[index + 1 :]:
             report.pairs.append((x, y))
-            report.results.append(check_state_independent(lts, x, y, checker))
-            report.results.append(check_order_independent(lts, x, y, checker))
+            if record(check_state_independent(lts, x, y, checker)):
+                return finalize()
+            if record(check_order_independent(lts, x, y, checker)):
+                return finalize()
             for z in flow_signals:
                 if z in (x, y):
                     continue
-                report.results.append(check_flow_independent(lts, x, y, z, checker))
-    return report
+                if record(check_flow_independent(lts, x, y, z, checker)):
+                    return finalize()
+    return finalize()

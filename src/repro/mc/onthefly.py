@@ -1,0 +1,387 @@
+"""On-the-fly product construction and frontier-based lazy search.
+
+Implements the scalable counterpart of :mod:`repro.mc.transition`'s eager
+exploration, in the spirit of the paper's central cost argument (Section 4 /
+Theorem 1): deciding a property of a composition ``P1 | ... | Pn`` should not
+require materializing the synchronous product up front.
+
+* :class:`LazyReactionLTS` — the reaction LTS of one boolean abstraction with
+  successors computed (and memoized) on demand instead of being explored
+  eagerly by :func:`repro.mc.transition.build_lts`;
+* :class:`ProductLTS` — the synchronous product of *component* abstractions,
+  expanded on demand: a product reaction is a compatible join of one reaction
+  per component (agreeing on the presence and value of every shared signal),
+  found by backtracking over the components so incompatible combinations are
+  pruned without ever enumerating the ``3^n`` global activation choices of
+  the composed process;
+* :class:`OnTheFlyChecker` — a frontier-based breadth-first search driver
+  over any lazy LTS, presenting the same query interface as
+  :class:`repro.mc.explicit.ExplicitStateChecker` so every invariant and
+  Definition 2 axiom can run against it unchanged.  Checks that return on
+  the first violating reaction therefore terminate after expanding only the
+  states the search actually visited — ``states_expanded`` of the resulting
+  :class:`~repro.api.results.Cost` records how many that was, against the
+  ``state_bound`` the eager engine would have had to fill.
+
+The product states are *flattened* to the same register-valuation tuples as
+the eager abstraction of the composed process, and the product reactions are
+built on the union domain under the composition's unified types, so the two
+engines explore the same states and the same transitions (only the
+enumeration order differs — the join yields successors component-wise, the
+eager engine in global choice order).  Property-based equivalence is pinned
+by ``tests/test_onthefly.py``.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.clocks.hierarchy import ClockHierarchy
+from repro.lang.normalize import NormalizedProcess
+from repro.mc.transition import BooleanAbstraction, ReactionLTS, State, Transition
+from repro.mocc.reactions import Reaction
+
+Successor = Tuple[Reaction, State]
+
+
+def product_conflicts(components: Sequence[NormalizedProcess]) -> List[str]:
+    """Signals defined by more than one component — no abstraction product
+    can join defining equations across components (values are canonical)."""
+    definers: Dict[str, int] = {}
+    for component in components:
+        for signal in component.defined_signals():
+            definers[signal] = definers.get(signal, 0) + 1
+    return sorted(signal for signal, count in definers.items() if count > 1)
+
+
+class LazyReactionLTS:
+    """Successor-on-demand view of one process's boolean abstraction."""
+
+    def __init__(
+        self,
+        process: NormalizedProcess,
+        hierarchy: Optional[ClockHierarchy] = None,
+        abstraction: Optional[BooleanAbstraction] = None,
+    ):
+        self.abstraction = abstraction or BooleanAbstraction(process, hierarchy)
+        self.process_name = process.name
+        self.initial: State = self.abstraction.initial_state()
+        self._successors: Dict[State, Tuple[Successor, ...]] = {}
+
+    def successors(self, state: State) -> Tuple[Successor, ...]:
+        cached = self._successors.get(state)
+        if cached is None:
+            cached = tuple(self.abstraction.reactions(state))
+            self._successors[state] = cached
+        return cached
+
+
+class ProductLTS:
+    """The synchronous product of component abstractions, expanded lazily.
+
+    A product state is the tuple of component register valuations, flattened
+    into one sorted register-valuation tuple (components must have disjoint
+    register names, which composition by name-matching guarantees up to
+    α-renaming of locals).  A product reaction joins one reaction per
+    component such that every signal shared by two components is present in
+    both or in neither, with the same value; the join is searched by
+    backtracking over the components so a component whose choice contradicts
+    an earlier one prunes the whole subtree.
+
+    Two preconditions are checked (``ValueError`` otherwise, on which the
+    session facade falls back to a lazy view of the composed process):
+
+    * register names must be disjoint across components;
+    * no signal may be *defined* by more than one component.  The boolean
+      abstraction replaces numeric values by a canonical token, so presence/
+      value join cannot enforce that two defining equations in different
+      components agree on a concrete value — only the composed interpreter
+      can.  Signals defined once and read elsewhere (the paper's chains,
+      stars and producer/consumer networks) are exactly what the product
+      handles.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[NormalizedProcess],
+        hierarchies: Optional[Sequence[Optional[ClockHierarchy]]] = None,
+        name: Optional[str] = None,
+        types: Optional[Mapping[str, str]] = None,
+    ):
+        if not components:
+            raise ValueError("a product needs at least one component")
+        hierarchies = hierarchies or [None] * len(components)
+        self.components = tuple(components)
+        self.process_name = name or "|".join(c.name for c in components)
+        # The boolean abstraction is type-directed (boolean signals carry
+        # values, others a canonical token), and composition *unifies* types:
+        # a signal a component types 'any' may be boolean in the composed
+        # process.  Abstract every component under the composition's types —
+        # passed by the caller, or inferred by composing — so the product
+        # joins the very reactions the eager engine enumerates.
+        if types is None:
+            types = reduce(lambda left, right: left.compose(right), components).types
+        abstracted: List[Tuple[NormalizedProcess, Optional[ClockHierarchy]]] = []
+        for component, hierarchy in zip(components, hierarchies):
+            local_types = {
+                signal: types.get(signal, component.types.get(signal, "any"))
+                for signal in component.all_signals()
+            }
+            if local_types == dict(component.types):
+                abstracted.append((component, hierarchy))
+            else:
+                retyped = NormalizedProcess(
+                    name=component.name,
+                    inputs=component.inputs,
+                    outputs=component.outputs,
+                    locals=component.locals,
+                    equations=component.equations,
+                    types=local_types,
+                )
+                # the memoized hierarchy was built for the old types
+                abstracted.append((retyped, None))
+        #: the components as actually abstracted (retyped under the unified
+        #: types where needed) — the symbolic product must encode these same
+        #: abstractions, not the locally-typed originals
+        self.abstracted = tuple(component for component, _hierarchy in abstracted)
+        self._lts = [
+            LazyReactionLTS(component, hierarchy) for component, hierarchy in abstracted
+        ]
+        self._domains = [set(component.all_signals()) for component in components]
+        self._union_domain = tuple(sorted(set().union(*self._domains)))
+        registers: List[str] = []
+        for lazy in self._lts:
+            registers.extend(name for name, _ in lazy.initial)
+        if len(registers) != len(set(registers)):
+            raise ValueError(
+                f"product components of {self.process_name} share register names; "
+                "rename the clashing local state signals"
+            )
+        conflicts = product_conflicts(components)
+        if conflicts:
+            raise ValueError(
+                f"product components of {self.process_name} multiply define "
+                f"{', '.join(conflicts)}; the abstraction cannot join defining "
+                "equations across components (use the composed process instead)"
+            )
+        # shared signals, indexed for the backtracking join: for component i,
+        # the earlier components j < i it must agree with and on what.
+        self._shared: List[List[Tuple[int, Tuple[str, ...]]]] = []
+        for i in range(len(components)):
+            constraints: List[Tuple[int, Tuple[str, ...]]] = []
+            for j in range(i):
+                common = self._domains[i] & self._domains[j]
+                if common:
+                    constraints.append((j, tuple(common)))
+            self._shared.append(constraints)
+        self._unflatten: Dict[State, Tuple[State, ...]] = {}
+        self.initial = self._flatten(tuple(lazy.initial for lazy in self._lts))
+        self._successors: Dict[State, Tuple[Successor, ...]] = {}
+
+    def _flatten(self, component_states: Tuple[State, ...]) -> State:
+        merged: List[Tuple[str, object]] = []
+        for component_state in component_states:
+            merged.extend(component_state)
+        flattened = tuple(sorted(merged))
+        self._unflatten.setdefault(flattened, component_states)
+        return flattened
+
+    def successors(self, state: State) -> Tuple[Successor, ...]:
+        cached = self._successors.get(state)
+        if cached is not None:
+            return cached
+        component_states = self._unflatten[state]
+        per_component = [
+            lazy.successors(component_state)
+            for lazy, component_state in zip(self._lts, component_states)
+        ]
+        results: List[Successor] = []
+        chosen: List[Optional[Successor]] = [None] * len(self._lts)
+
+        def compatible(index: int, reaction: Reaction) -> bool:
+            for j, common in self._shared[index]:
+                other = chosen[j][0]
+                for signal in common:
+                    present = signal in reaction
+                    if present != (signal in other):
+                        return False
+                    if present and reaction.value(signal) != other.value(signal):
+                        return False
+            return True
+
+        def extend(index: int) -> None:
+            if index == len(self._lts):
+                events: Dict[str, object] = {}
+                for reaction, _target in chosen:
+                    for signal, value in reaction.items():
+                        events[signal] = value
+                merged = Reaction(self._union_domain, events)
+                target = self._flatten(tuple(target for _reaction, target in chosen))
+                results.append((merged, target))
+                return
+            for successor in per_component[index]:
+                if compatible(index, successor[0]):
+                    chosen[index] = successor
+                    extend(index + 1)
+            chosen[index] = None
+
+        extend(0)
+        cached = tuple(results)
+        self._successors[state] = cached
+        return cached
+
+
+class OnTheFlyChecker:
+    """Frontier-based search over a lazy LTS, with the explicit-checker API.
+
+    States are discovered breadth-first and expanded only when a query needs
+    their successors, so a check that stops at the first violating reaction
+    leaves the rest of the state space untouched.  The checker answers the
+    same queries as :class:`repro.mc.explicit.ExplicitStateChecker`
+    (``transitions_from`` / ``reactions_from`` / ``successor`` / ``enables``
+    / ``iter_states``), which is what lets the Definition 2 axioms and the
+    Section 4.1 invariants run on either engine unchanged.
+    """
+
+    def __init__(self, lazy, max_states: int = 512):
+        self.lazy = lazy
+        self.max_states = max_states
+        self.truncated = False
+        self.transitions_expanded = 0
+        self._order: List[State] = [lazy.initial]
+        self._seen: Set[State] = {lazy.initial}
+        self._transitions: Dict[State, Tuple[Transition, ...]] = {}
+
+    @property
+    def process_name(self) -> str:
+        return self.lazy.process_name
+
+    @property
+    def initial(self) -> State:
+        return self.lazy.initial
+
+    @property
+    def states_expanded(self) -> int:
+        return len(self._transitions)
+
+    @property
+    def states_discovered(self) -> int:
+        return len(self._seen)
+
+    def _discover(self, state: State) -> None:
+        if state in self._seen:
+            return
+        if len(self._seen) >= self.max_states:
+            self.truncated = True
+            return
+        self._seen.add(state)
+        self._order.append(state)
+
+    # -- the explicit-checker interface -----------------------------------------
+    def transitions_from(self, state: State) -> List[Transition]:
+        cached = self._transitions.get(state)
+        if cached is None:
+            successors = self.lazy.successors(state)
+            cached = tuple(
+                Transition(source=state, reaction=reaction, target=target)
+                for reaction, target in successors
+            )
+            self._transitions[state] = cached
+            self.transitions_expanded += len(cached)
+            for _reaction, target in successors:
+                self._discover(target)
+        return list(cached)
+
+    def reactions_from(self, state: State) -> List[Reaction]:
+        return [transition.reaction for transition in self.transitions_from(state)]
+
+    def non_silent_reactions_from(self, state: State) -> List[Reaction]:
+        return [reaction for reaction in self.reactions_from(state) if not reaction.is_silent()]
+
+    def successor(self, state: State, reaction: Reaction) -> Optional[State]:
+        for transition in self.transitions_from(state):
+            if transition.reaction == reaction:
+                return transition.target
+        return None
+
+    def enables(self, state: State, reaction: Reaction) -> bool:
+        return self.successor(state, reaction) is not None
+
+    def iter_states(self) -> Iterator[State]:
+        """Breadth-first stream of reachable states, expanding as it goes.
+
+        Breaking out of the iteration early (on the first violation) leaves
+        every state past the break point unexpanded — that is the engine's
+        whole point.
+        """
+        index = 0
+        while index < len(self._order):
+            state = self._order[index]
+            index += 1
+            self.transitions_from(state)
+            yield state
+
+    # -- early-terminating checks -------------------------------------------------
+    def find_deadlock(self) -> Optional[State]:
+        """The first reachable state with no reaction at all, or ``None``."""
+        for state in self.iter_states():
+            if not self.transitions_from(state):
+                return state
+        return None
+
+    def is_non_blocking(self):
+        """Definition 4 with early termination on the first deadlock."""
+        from repro.mc.explicit import InvariantResult
+
+        deadlock = self.find_deadlock()
+        if deadlock is not None:
+            return InvariantResult(
+                "non-blocking", False, f"state {dict(deadlock)} has no reaction at all"
+            )
+        return InvariantResult("non-blocking", True)
+
+    def is_deterministic(self):
+        """Determinism with early termination on the first ambiguous reaction."""
+        from repro.mc.explicit import InvariantResult
+
+        for state in self.iter_states():
+            seen: Dict[Reaction, State] = {}
+            for transition in self.transitions_from(state):
+                previous = seen.get(transition.reaction)
+                if previous is not None and previous != transition.target:
+                    return InvariantResult(
+                        "determinism",
+                        False,
+                        f"reaction {transition.reaction} from {dict(state)} has two successors",
+                    )
+                seen[transition.reaction] = transition.target
+        return InvariantResult("determinism", True)
+
+    # -- totals -------------------------------------------------------------------
+    def explore_all(self) -> None:
+        """Expand every reachable state (up to ``max_states``)."""
+        for _state in self.iter_states():
+            pass
+
+    def materialize(self) -> ReactionLTS:
+        """The fully explored :class:`ReactionLTS`, identical to the eager one."""
+        self.explore_all()
+        lts = ReactionLTS(
+            process_name=self.process_name,
+            initial=self.initial,
+            states=list(self._order),
+            truncated=self.truncated,
+        )
+        for state in self._order:
+            lts.transitions.extend(self._transitions[state])
+        return lts
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "states_expanded": self.states_expanded,
+            "states_discovered": self.states_discovered,
+            "transitions_expanded": self.transitions_expanded,
+            "state_bound": self.max_states,
+            "truncated": int(self.truncated),
+        }

@@ -1,14 +1,28 @@
-"""Symbolic (BDD-based) exploration of the boolean abstraction.
+"""Symbolic (BDD-based) model checking — the role Sigali plays in Section 4.
 
 The explicit checker of :mod:`repro.mc.explicit` is sufficient for the paper's
 examples; this module provides the symbolic counterpart so that the cost
 comparison of the paper (static criterion vs. state-space exploration) can be
-reproduced with either engine.  The transition relation is built over three
-groups of BDD variables:
+reproduced with either engine.  Two constructions are provided:
+
+* :class:`SymbolicChecker` encodes one explicitly explored
+  :class:`~repro.mc.transition.ReactionLTS` and answers invariant queries on
+  the BDD-reachable set;
+* :class:`SymbolicProductChecker` builds the transition relation of a
+  composition ``P1 | ... | Pn`` *directly as the conjunction of the
+  per-component relations* — component register variables are declared in an
+  interleaved order and shared signals map to one common event variable, so
+  synchronization is plain BDD conjunction and the product's states are
+  never enumerated.
+
+The transition relations are built over four groups of BDD variables:
 
 * ``s·r``   — current value of boolean register ``r``;
 * ``s'·r``  — next value of boolean register ``r``;
-* ``e·x``   — presence of signal ``x`` in the reaction (the event variables).
+* ``e·x``   — presence of signal ``x`` in the reaction (the event variables);
+* ``d·x``   — the boolean value carried by ``x`` when present (product only,
+  so that two components sharing a boolean signal agree on its value, not
+  just its clock).
 
 Reachability is the usual image fixpoint; invariants are checked on the
 reachable set.
@@ -33,6 +47,10 @@ def next_variable(register: str) -> str:
 
 def event_variable(signal: str) -> str:
     return f"e·{signal}"
+
+
+def value_variable(signal: str) -> str:
+    return f"d·{signal}"
 
 
 class SymbolicChecker:
@@ -178,3 +196,199 @@ class SymbolicChecker:
 
     def register(self, name: str) -> BDD:
         return self.manager.var(current_variable(name))
+
+    def bdd_nodes(self) -> int:
+        """BDD nodes of the encoded model: relation plus reachable set."""
+        return self._transition_relation.node_count() + self.reachable_states().node_count()
+
+
+class SymbolicProductChecker:
+    """Symbolic reachability over a product built *without* enumerating it.
+
+    Each component contributes the relation of its own (small, individually
+    explored) reaction LTS over its own register variables; signals shared by
+    several components map to the same ``e·x`` / ``d·x`` variables, so the
+    product transition relation is simply the conjunction of the component
+    relations — the synchronous product of the paper's ``P | Q`` at the BDD
+    level.  Register variables are declared in an *interleaved* order
+    (register 0 of every component, then register 1 of every component, ...)
+    which keeps the relation compact for chains of similar components.
+
+    The component LTSs must be complete (not truncated): a truncated
+    component would silently under-approximate the product.  Two further
+    preconditions mirror :class:`repro.mc.onthefly.ProductLTS` (whose
+    docstring explains why): no signal may be defined by more than one
+    component — pass ``components`` so this can be checked — and the
+    component LTSs should be built under the *composition's* unified types
+    (the abstraction is type-directed; use ``ProductLTS.abstracted``).
+    """
+
+    def __init__(
+        self,
+        component_ltss: Sequence[ReactionLTS],
+        manager: Optional[BDDManager] = None,
+        components: Optional[Sequence[object]] = None,
+    ):
+        if not component_ltss:
+            raise ValueError("a symbolic product needs at least one component LTS")
+        truncated = [lts.process_name for lts in component_ltss if lts.truncated]
+        if truncated:
+            raise ValueError(
+                f"component LTSs are truncated ({', '.join(truncated)}); raise max_states"
+            )
+        if components is not None:
+            from repro.mc.onthefly import product_conflicts
+
+            conflicts = product_conflicts(components)
+            if conflicts:
+                raise ValueError(
+                    f"symbolic product components multiply define {', '.join(conflicts)}; "
+                    "the conjunction of component relations cannot enforce value "
+                    "agreement between defining equations (encode the composed "
+                    "process instead)"
+                )
+        self.component_ltss = tuple(component_ltss)
+        self.manager = manager or BDDManager()
+        register_groups = [tuple(name for name, _ in lts.initial) for lts in component_ltss]
+        flat = [name for group in register_groups for name in group]
+        if len(flat) != len(set(flat)):
+            raise ValueError("product components share register names")
+        self._registers = tuple(sorted(flat))
+        # interleaved declaration order: position j of every component in turn
+        for position in range(max((len(g) for g in register_groups), default=0)):
+            for group in register_groups:
+                if position < len(group):
+                    self.manager.declare(current_variable(group[position]))
+                    self.manager.declare(next_variable(group[position]))
+        signals: Set[str] = set()
+        booleans: Set[str] = set()
+        for lts in component_ltss:
+            for transition in lts.transitions:
+                signals.update(transition.reaction.domain)
+                for name, value in transition.reaction.items():
+                    if isinstance(value, bool):
+                        booleans.add(name)
+        self._signals = tuple(sorted(signals))
+        self._boolean_signals = frozenset(booleans)
+        for signal in self._signals:
+            self.manager.declare(event_variable(signal))
+            if signal in self._boolean_signals:
+                self.manager.declare(value_variable(signal))
+        self._transition_relation = self.manager.true
+        for lts, group in zip(component_ltss, register_groups):
+            self._transition_relation = (
+                self._transition_relation & self._component_relation(lts, group)
+            )
+        self._initial = self.manager.true
+        for lts in component_ltss:
+            for register, value in lts.initial:
+                variable = self.manager.var(current_variable(register))
+                self._initial = self._initial & (variable if bool(value) else ~variable)
+
+    # -- encoding ----------------------------------------------------------------
+    def _encode_component_reaction(self, reaction, own_signals: Iterable[str]) -> BDD:
+        """Presence and boolean values of the component's own signals only."""
+        encoded = self.manager.true
+        for signal in own_signals:
+            event = self.manager.var(event_variable(signal))
+            if signal in reaction:
+                encoded = encoded & event
+                value = reaction.value(signal)
+                if isinstance(value, bool):
+                    data = self.manager.var(value_variable(signal))
+                    encoded = encoded & (data if value else ~data)
+            else:
+                encoded = encoded & ~event
+        return encoded
+
+    def _component_relation(self, lts: ReactionLTS, registers: Sequence[str]) -> BDD:
+        own_signals = sorted({s for t in lts.transitions for s in t.reaction.domain})
+        relation = self.manager.false
+        for transition in lts.transitions:
+            encoded = self._encode_component_reaction(transition.reaction, own_signals)
+            for register, value in transition.source:
+                variable = self.manager.var(current_variable(register))
+                encoded = encoded & (variable if bool(value) else ~variable)
+            for register, value in transition.target:
+                variable = self.manager.var(next_variable(register))
+                encoded = encoded & (variable if bool(value) else ~variable)
+            relation = relation | encoded
+        return relation
+
+    # -- reachability ---------------------------------------------------------------
+    @property
+    def registers(self) -> Tuple[str, ...]:
+        return self._registers
+
+    @property
+    def signals(self) -> Tuple[str, ...]:
+        return self._signals
+
+    @property
+    def transition_relation(self) -> BDD:
+        return self._transition_relation
+
+    @property
+    def initial_states(self) -> BDD:
+        return self._initial
+
+    def _step_variables(self) -> List[str]:
+        variables = [event_variable(signal) for signal in self._signals]
+        variables += [
+            value_variable(signal) for signal in self._signals if signal in self._boolean_signals
+        ]
+        return variables
+
+    def image(self, states: BDD) -> BDD:
+        """The product states reachable in one joint reaction."""
+        quantified = self._step_variables() + [
+            current_variable(register) for register in self._registers
+        ]
+        step = (states & self._transition_relation).exists(quantified)
+        renaming = {
+            next_variable(register): current_variable(register) for register in self._registers
+        }
+        return step.rename(renaming)
+
+    def reachable_states(self, max_iterations: int = 10_000) -> BDD:
+        reached = self._initial
+        for _ in range(max_iterations):
+            extended = reached | self.image(reached)
+            if self.manager.equivalent(extended, reached):
+                return reached
+            reached = extended
+        raise RuntimeError("product reachability fixpoint did not converge")
+
+    def reachable_count(self) -> int:
+        variables = [current_variable(register) for register in self._registers]
+        if not variables:
+            return 1 if self.reachable_states().is_satisfiable() else 0
+        return self.reachable_states().count(variables)
+
+    # -- invariants -------------------------------------------------------------------
+    def deadlock_states(self) -> BDD:
+        """Reachable product states with no joint reaction at all (Definition 4)."""
+        step_variables = self._step_variables() + [
+            next_variable(register) for register in self._registers
+        ]
+        has_successor = self._transition_relation.exists(step_variables)
+        return self.reachable_states() & ~has_successor
+
+    def is_non_blocking(self) -> InvariantResult:
+        """Definition 4 decided on the conjunction relation, no product enumeration."""
+        deadlocks = self.deadlock_states()
+        if deadlocks.is_false():
+            return InvariantResult("non-blocking", True)
+        witness = deadlocks.satisfy_one() or {}
+        readable = {
+            variable.split("·", 1)[1]: value
+            for variable, value in witness.items()
+            if variable.startswith("s·")
+        }
+        return InvariantResult(
+            "non-blocking", False, f"reachable product deadlock state {readable}"
+        )
+
+    def bdd_nodes(self) -> int:
+        """BDD nodes of the encoded model: relation plus reachable set."""
+        return self._transition_relation.node_count() + self.reachable_states().node_count()

@@ -1,5 +1,13 @@
 """Boolean abstraction of a Signal process as a reaction-labelled LTS.
 
+Implements the state-space construction that Section 4 of the paper model
+checks (the paper compiles Signal programs to polynomial transition systems
+for Sigali; here the same role is played by this reaction-labelled LTS).
+Weak endochrony (Definition 2) and non-blocking (Definition 4) are stated
+over exactly these reactions, and :func:`build_lts` is the *eager* engine
+whose exponential cost Theorem 1 avoids — the lazy counterpart lives in
+:mod:`repro.mc.onthefly`.
+
 The state of the abstraction is the valuation of the boolean delay registers
 (numeric registers are abstracted away: in the clock calculus only boolean
 values influence presence).  A transition is a *reaction*: an assignment of
@@ -100,6 +108,7 @@ class BooleanAbstraction:
             name for name in process.state_signals() if name in self._boolean
         )
         self._activation_points = self._compute_activation_points(extra_activation_signals)
+        self._choices: Optional[Tuple[ReactionChoice, ...]] = None
 
     # -- activation points ----------------------------------------------------
     def _compute_activation_points(self, extra: Iterable[str]) -> Tuple[Tuple[str, Tuple], ...]:
@@ -149,13 +158,20 @@ class BooleanAbstraction:
 
     # -- reactions --------------------------------------------------------------
     def enumerate_choices(self) -> List[ReactionChoice]:
-        """Every candidate activation of the process (before feasibility filtering)."""
-        names = [name for name, _ in self._activation_points]
-        domains = [choices for _, choices in self._activation_points]
-        choices: List[ReactionChoice] = []
-        for combination in itertools.product(*domains):
-            choices.append(ReactionChoice(tuple(zip(names, combination))))
-        return choices
+        """Every candidate activation of the process (before feasibility filtering).
+
+        The enumeration only depends on the activation points, not on the
+        state, so it is computed once and reused by every ``reactions()``
+        call (the eager engine calls it per explored state).
+        """
+        if self._choices is None:
+            names = [name for name, _ in self._activation_points]
+            domains = [choices for _, choices in self._activation_points]
+            self._choices = tuple(
+                ReactionChoice(tuple(zip(names, combination)))
+                for combination in itertools.product(*domains)
+            )
+        return list(self._choices)
 
     def reactions(self, state: State) -> List[Tuple[Reaction, State]]:
         """The feasible reactions from ``state`` with their successor states."""

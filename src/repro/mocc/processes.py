@@ -110,17 +110,20 @@ def synchronous_composition(left: DenotationalProcess, right: DenotationalProces
     return DenotationalProcess(domain, combined)
 
 
-def asynchronous_composition(left: DenotationalProcess, right: DenotationalProcess) -> DenotationalProcess:
-    """Asynchronous composition ``p ‖ q`` of two denotational processes.
+def iter_asynchronous_gluings(
+    left: DenotationalProcess, right: DenotationalProcess
+) -> Iterator[Behavior]:
+    """Stream the gluings of ``p ‖ q`` pair by pair, without materializing.
 
     Behaviors are glued when they are *flow equivalent* on the shared
-    interface; the result keeps, for every shared signal, the flow of values
-    (re-timed on the tags of the left operand) so that the composite can be
-    compared, flow-wise, with the synchronous composition (Definition 3).
+    interface; every gluing keeps, for each shared signal, the flow of
+    values (re-timed on the tags of the left operand).  A consumer that
+    stops early — the lazy isochrony comparison of
+    :mod:`repro.properties.isochrony` — never pays for the remaining
+    |left| × |right| combinations.
     """
     interface = left.domain & right.domain
     domain = left.domain | right.domain
-    combined: List[Behavior] = []
     for b in left:
         for c in right:
             if flow_equivalent(b.restrict(interface), c.restrict(interface)):
@@ -130,8 +133,18 @@ def asynchronous_composition(left: DenotationalProcess, right: DenotationalProce
                         rows[name] = b[name]
                     else:
                         rows[name] = c[name]
-                combined.append(Behavior(rows))
-    return DenotationalProcess(domain, combined)
+                yield Behavior(rows)
+
+
+def asynchronous_composition(left: DenotationalProcess, right: DenotationalProcess) -> DenotationalProcess:
+    """Asynchronous composition ``p ‖ q`` of two denotational processes.
+
+    The materialized form of :func:`iter_asynchronous_gluings`, for callers
+    that need the whole composite (Definition 3's eager comparison).
+    """
+    return DenotationalProcess(
+        left.domain | right.domain, list(iter_asynchronous_gluings(left, right))
+    )
 
 
 def behaviors_from_reaction_sequences(

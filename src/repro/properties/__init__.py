@@ -1,7 +1,11 @@
 """Formal properties of Section 4 and the compositional design criterion.
 
+Each submodule states, in its own docstring, which paper definition or
+theorem it implements; the same map is kept in ``docs/architecture.md`` and
+in the README feature table.
+
 * :mod:`repro.properties.compilable` — the analysis pipeline and
-  compilability (Definition 10);
+  compilability (Definition 10, with Definitions 7 and 8);
 * :mod:`repro.properties.endochrony` — hierarchic processes (Definition 11),
   the static endochrony criterion (Property 2) and the trace-based check of
   Definition 1;

@@ -1,4 +1,5 @@
-"""The analysis pipeline and compilability (Definition 10).
+"""The analysis pipeline — implements compilability (Definition 10) and the
+well-clocked / acyclic clauses it is built from (Definitions 7 and 8).
 
 :class:`ProcessAnalysis` bundles every artefact the paper's analyses build
 from a process — timing relations, clock algebra, hierarchy, disjunctive

@@ -1,4 +1,4 @@
-"""The compositional design criterion (Definition 12 and Theorem 1).
+"""The compositional design criterion — implements Definition 12 and Theorem 1.
 
 This is the paper's primary contribution: instead of model-checking weak
 endochrony of a composition (exponential in the state space), check

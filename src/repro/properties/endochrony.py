@@ -1,4 +1,4 @@
-"""Endochrony: the static criterion and the trace-based definition.
+"""Endochrony — implements Definition 1 (traces) and Property 2 (static).
 
 Definition 1: a process is endochronous when flow-equivalent inputs always
 lead to clock-equivalent behaviors — the timing of the whole process is

@@ -1,14 +1,20 @@
-"""Isochrony (Definition 3) checked on bounded traces.
+"""Isochrony — implements Definition 3 of the paper, on bounded traces.
 
 Two processes are isochronous when their synchronous composition and their
 asynchronous composition have the same behaviors up to flow equivalence:
 nothing is lost (and nothing is invented) by letting the two components run
-on unsynchronized clocks and exchange values through FIFOs.
+on unsynchronized clocks and exchange values through FIFOs.  Theorem 1 (2)
+obtains this for free for weakly hierarchic compositions; this module is the
+bounded-trace oracle the criterion is cross-checked against.
 
 The check below enumerates the bounded behaviors of the two components over
 given input flows, builds both compositions with the operators of
 :mod:`repro.mocc.processes`, and compares the sets of flow-equivalence
-classes of the shared and visible signals.
+classes of the shared and visible signals.  With ``lazy=True`` the
+asynchronous side is *not* materialized: candidate gluings are streamed one
+by one and the comparison stops at the first asynchronous flow class missing
+synchronously — the denotational analogue of the on-the-fly engine of
+:mod:`repro.mc.onthefly`.
 """
 
 from __future__ import annotations
@@ -18,9 +24,11 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.api.results import Cost, Diagnostic, Verdict, stopwatch
 from repro.lang.normalize import NormalizedProcess
+from repro.mocc.behaviors import Behavior
 from repro.mocc.processes import (
     DenotationalProcess,
     asynchronous_composition,
+    iter_asynchronous_gluings,
     synchronous_composition,
 )
 from repro.semantics.denotational import enumerate_behaviors
@@ -28,7 +36,12 @@ from repro.semantics.denotational import enumerate_behaviors
 
 @dataclass
 class IsochronyReport:
-    """Result of the bounded isochrony comparison."""
+    """Result of the bounded isochrony comparison.
+
+    ``complete`` is ``False`` when the comparison stopped at the first
+    missing class (the lazy path): ``asynchronous_classes`` then counts the
+    classes streamed before the counterexample, not the full set.
+    """
 
     left_name: str
     right_name: str
@@ -36,6 +49,7 @@ class IsochronyReport:
     synchronous_classes: int = 0
     asynchronous_classes: int = 0
     missing_in_synchronous: List[Tuple] = field(default_factory=list)
+    complete: bool = True
 
     def __str__(self) -> str:
         verdict = "isochronous" if self.holds else "NOT isochronous"
@@ -55,12 +69,18 @@ def _observable_signals(
     return tuple(sorted(visible))
 
 
+def _flow_class_key(behavior: Behavior) -> Tuple:
+    """The canonical flow-class key of one behavior (as in ``flow_classes``)."""
+    return tuple(sorted((name, values) for name, values in behavior.flows().items()))
+
+
 def check_isochrony(
     left: NormalizedProcess,
     right: NormalizedProcess,
     input_flows: Mapping[str, Sequence[object]],
     max_instants: int = 8,
     signals: Optional[Iterable[str]] = None,
+    lazy: bool = False,
 ) -> IsochronyReport:
     """Definition 3 on bounded traces: ``p | q ≈ p ‖ q``.
 
@@ -68,6 +88,10 @@ def check_isochrony(
     the composition (inputs of either component not produced by the other).
     The comparison is on flow-equivalence classes: every flow of values
     reachable asynchronously must be reachable synchronously and conversely.
+
+    With ``lazy=True`` the asynchronous gluings are streamed and the
+    comparison returns at the first class missing synchronously, so a
+    violating composition never pays for the full asynchronous product.
     """
     observable = _observable_signals(left, right, signals)
 
@@ -124,9 +148,34 @@ def check_isochrony(
         max_instants=max_instants,
         signals=tuple(sorted(set(right.interface_signals()) & set(observable))),
     )
-    asynchronous = asynchronous_composition(left_process, right_process)
-
     synchronous_classes = synchronous.restrict(observable).flow_classes()
+
+    if lazy:
+        seen: Set[Tuple] = set()
+        for gluing in iter_asynchronous_gluings(left_process, right_process):
+            key = _flow_class_key(gluing.restrict(observable))
+            if key in seen:
+                continue
+            seen.add(key)
+            if key not in synchronous_classes:
+                return IsochronyReport(
+                    left_name=left.name,
+                    right_name=right.name,
+                    holds=False,
+                    synchronous_classes=len(synchronous_classes),
+                    asynchronous_classes=len(seen),
+                    missing_in_synchronous=[key],
+                    complete=False,
+                )
+        return IsochronyReport(
+            left_name=left.name,
+            right_name=right.name,
+            holds=bool(synchronous_classes),
+            synchronous_classes=len(synchronous_classes),
+            asynchronous_classes=len(seen),
+        )
+
+    asynchronous = asynchronous_composition(left_process, right_process)
     asynchronous_classes = asynchronous.restrict(observable).flow_classes()
 
     missing = sorted(asynchronous_classes - synchronous_classes)
@@ -147,10 +196,11 @@ def verify_isochrony(
     input_flows: Mapping[str, Sequence[object]],
     max_instants: int = 8,
     signals: Optional[Iterable[str]] = None,
+    lazy: bool = False,
 ) -> Verdict:
     """Definition 3 on bounded traces as a :class:`~repro.api.results.Verdict`."""
     with stopwatch() as elapsed:
-        report = check_isochrony(left, right, input_flows, max_instants, signals)
+        report = check_isochrony(left, right, input_flows, max_instants, signals, lazy=lazy)
     witness = report.missing_in_synchronous[0] if report.missing_in_synchronous else None
     return Verdict(
         prop="isochrony",

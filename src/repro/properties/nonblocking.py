@@ -1,17 +1,23 @@
-"""Non-blocking processes (Definition 4).
+"""Non-blocking processes — implements Definition 4 of the paper.
 
 A process is non-blocking when, from every reachable state, it admits at
 least one (possibly stuttering) reaction.  In the reaction LTS of the boolean
 abstraction this is simply the absence of deadlock states; the silent
 reaction is admissible whenever the process puts no lower bound on activity,
 so blocking only arises from contradictory timing relations.
+
+Theorem 1 makes this check free for weakly hierarchic compositions; for the
+model-checking route the check runs either on an eagerly explored
+:class:`~repro.mc.transition.ReactionLTS` or — preferably — on an
+:class:`~repro.mc.onthefly.OnTheFlyChecker`, which stops at the first
+deadlock it reaches instead of materializing the full product first.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.api.results import Cost, Verdict, diagnostics_from_invariants, stopwatch
+from repro.api.results import Cost, Diagnostic, Verdict, diagnostics_from_invariants, stopwatch
 from repro.clocks.hierarchy import ClockHierarchy
 from repro.lang.normalize import NormalizedProcess
 from repro.mc.explicit import ExplicitStateChecker, InvariantResult
@@ -23,22 +29,70 @@ def verify_non_blocking(
     lts: Optional[ReactionLTS] = None,
     hierarchy: Optional[ClockHierarchy] = None,
     max_states: int = 512,
+    checker=None,
 ) -> Verdict:
-    """Definition 4 as a :class:`~repro.api.results.Verdict` (explicit exploration)."""
+    """Definition 4 as a :class:`~repro.api.results.Verdict`.
+
+    With ``checker`` (an :class:`~repro.mc.onthefly.OnTheFlyChecker`) the
+    search is on-the-fly: it terminates on the first deadlock state and the
+    verdict's :class:`Cost` reports how many states were actually expanded
+    against the ``max_states`` bound.  Otherwise the explicit
+    :class:`~repro.mc.transition.ReactionLTS` is (built and) scanned.
+    """
+    truncated = False
     with stopwatch() as elapsed:
-        if lts is None:
-            lts = build_lts(process, hierarchy, max_states=max_states)
-        result = ExplicitStateChecker(lts).is_non_blocking()
+        if checker is not None:
+            # count the states this query visits (memo hits included): the
+            # search stops at the first deadlock it reaches
+            states = 0
+            transitions = 0
+            deadlock = None
+            for state in checker.iter_states():
+                states += 1
+                outgoing = checker.transitions_from(state)
+                transitions += len(outgoing)
+                if not outgoing:
+                    deadlock = state
+                    break
+            if deadlock is not None:
+                result = InvariantResult(
+                    "non-blocking",
+                    False,
+                    f"state {dict(deadlock)} has no reaction at all",
+                )
+            else:
+                result = InvariantResult("non-blocking", True)
+            bound = checker.max_states
+            truncated = checker.truncated
+        else:
+            if lts is None:
+                lts = build_lts(process, hierarchy, max_states=max_states)
+            result = ExplicitStateChecker(lts).is_non_blocking()
+            states = lts.state_count()
+            transitions = lts.transition_count()
+            bound = max_states
+            truncated = lts.truncated
+    diagnostics = diagnostics_from_invariants([result])
+    if truncated and result.holds:
+        diagnostics.append(
+            Diagnostic(
+                "exploration cut by the state bound — the verdict is bounded, "
+                "not a proof; raise max_states for a conclusive answer",
+                True,
+                f"bound {bound}",
+            )
+        )
     return Verdict(
         prop="non-blocking",
         subject=process.name,
         holds=result.holds,
         method="explicit",
-        diagnostics=diagnostics_from_invariants([result]),
+        diagnostics=diagnostics,
         cost=Cost(
             seconds=elapsed[0],
-            states=lts.state_count(),
-            transitions=lts.transition_count(),
+            states=states,
+            transitions=transitions,
+            state_bound=bound,
         ),
         report=result,
     )

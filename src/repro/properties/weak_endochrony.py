@@ -1,4 +1,4 @@
-"""Weak endochrony (Definition 2) and its model-checking formulation.
+"""Weak endochrony — implements Definition 2 and the Section 4.1 formulation.
 
 Definition 2 asks a process to be deterministic and to satisfy the diamond
 properties over independent reactions:
@@ -14,31 +14,50 @@ uses the invariant formulation of Section 4.1 over the roots of the clock
 hierarchy (properties (1)-(3)), which is how the paper proposes to verify the
 property with Sigali; the two agree on the paper's examples and the second is
 the one whose cost the compositional criterion is designed to avoid.
+
+Every axiom is implemented per state, so the same code runs two ways:
+
+* eagerly — four sweeps over a pre-explored
+  :class:`~repro.mc.transition.ReactionLTS`, reporting all four results;
+* on-the-fly — when a ``checker``
+  (:class:`~repro.mc.onthefly.OnTheFlyChecker`) is passed, one breadth-first
+  sweep checks *all* axioms at each state as the frontier advances and
+  returns at the first violating reaction, leaving the rest of the product
+  unexpanded.  The verdict is the same (Definition 2 is a conjunction); only
+  the number of reported diagnostics and the exploration cost differ.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.api.results import Cost, Verdict, diagnostics_from_invariants, stopwatch
 from repro.clocks.hierarchy import ClockHierarchy
 from repro.lang.normalize import NormalizedProcess
 from repro.mc.explicit import ExplicitStateChecker, InvariantResult
 from repro.mc.invariants import WeakEndochronyInvariantReport, check_weak_endochrony_invariants
-from repro.mc.transition import ReactionLTS, build_lts
+from repro.mc.transition import ReactionLTS, State, build_lts
 from repro.mocc.reactions import Reaction, independent, merge_reactions
 from repro.properties.compilable import ProcessAnalysis
 
 
 @dataclass
 class WeakEndochronyReport:
-    """Outcome of checking Definition 2 on the reaction LTS."""
+    """Outcome of checking Definition 2 on the reaction LTS.
+
+    ``complete`` is ``False`` when an on-the-fly run returned at the first
+    violation (``results`` then holds the failing axiom only, and the
+    exploration counts are the states/transitions actually expanded) or when
+    the exploration was cut by the state bound — an all-holds report over a
+    truncated state space is a *bounded* result, not a proof.
+    """
 
     process_name: str
     results: List[InvariantResult] = field(default_factory=list)
     states_explored: int = 0
     transitions_explored: int = 0
+    complete: bool = True
 
     def holds(self) -> bool:
         return all(result.holds for result in self.results)
@@ -56,45 +75,59 @@ class WeakEndochronyReport:
         return "\n".join(lines)
 
 
-def _check_axiom_2a(checker: ExplicitStateChecker, lts: ReactionLTS) -> InvariantResult:
+# ---------------------------------------------------------------------------
+# Per-state axiom checks (the unit both engines share)
+# ---------------------------------------------------------------------------
+
+def _determinism_at(checker, state: State) -> Optional[InvariantResult]:
+    seen: Dict[Reaction, State] = {}
+    for transition in checker.transitions_from(state):
+        previous = seen.get(transition.reaction)
+        if previous is not None and previous != transition.target:
+            return InvariantResult(
+                "determinism",
+                False,
+                f"reaction {transition.reaction} from {dict(state)} has two successors",
+            )
+        seen[transition.reaction] = transition.target
+    return None
+
+
+def _axiom_2a_at(checker, state: State) -> Optional[InvariantResult]:
     """(2a): if b·r·s is possible with r, s independent, then b·s is possible."""
-    name = "axiom 2a (commutation)"
-    for state in lts.states:
-        for first in checker.non_silent_reactions_from(state):
-            successor = checker.successor(state, first)
-            if successor is None:
+    for first in checker.non_silent_reactions_from(state):
+        successor = checker.successor(state, first)
+        if successor is None:
+            continue
+        for second in checker.non_silent_reactions_from(successor):
+            if not independent(first, second):
                 continue
-            for second in checker.non_silent_reactions_from(successor):
-                if not independent(first, second):
-                    continue
-                if not checker.enables(state, second):
-                    return InvariantResult(
-                        name,
-                        False,
-                        f"from state {dict(state)}, {second} is possible after {first} "
-                        f"but not before it",
-                    )
-    return InvariantResult(name, True)
+            if not checker.enables(state, second):
+                return InvariantResult(
+                    "axiom 2a (commutation)",
+                    False,
+                    f"from state {dict(state)}, {second} is possible after {first} "
+                    f"but not before it",
+                )
+    return None
 
 
-def _check_axiom_2b(checker: ExplicitStateChecker, lts: ReactionLTS) -> InvariantResult:
+def _axiom_2b_at(checker, state: State) -> Optional[InvariantResult]:
     """(2b): independent reactions enabled together can be merged."""
-    name = "axiom 2b (merge)"
-    for state in lts.states:
-        enabled = checker.non_silent_reactions_from(state)
-        for index, first in enumerate(enabled):
-            for second in enabled[index + 1 :]:
-                if not independent(first, second):
-                    continue
-                merged = merge_reactions(first, second)
-                if not checker.enables(state, merged):
-                    return InvariantResult(
-                        name,
-                        False,
-                        f"from state {dict(state)}, {first} and {second} are enabled "
-                        f"but their union is not",
-                    )
-    return InvariantResult(name, True)
+    enabled = checker.non_silent_reactions_from(state)
+    for index, first in enumerate(enabled):
+        for second in enabled[index + 1 :]:
+            if not independent(first, second):
+                continue
+            merged = merge_reactions(first, second)
+            if not checker.enables(state, merged):
+                return InvariantResult(
+                    "axiom 2b (merge)",
+                    False,
+                    f"from state {dict(state)}, {first} and {second} are enabled "
+                    f"but their union is not",
+                )
+    return None
 
 
 def _split_candidates(reaction: Reaction, other: Reaction) -> Optional[Reaction]:
@@ -109,78 +142,126 @@ def _split_candidates(reaction: Reaction, other: Reaction) -> Optional[Reaction]
     return Reaction(reaction.domain, {name: reaction.value(name) for name in common})
 
 
-def _check_axiom_2c(checker: ExplicitStateChecker, lts: ReactionLTS) -> InvariantResult:
+def _axiom_2c_at(checker, state: State) -> Optional[InvariantResult]:
     """(2c): merged reactions sharing a common part can be decomposed sequentially."""
     name = "axiom 2c (decomposition)"
-    for state in lts.states:
-        enabled = checker.non_silent_reactions_from(state)
-        for index, first_union in enumerate(enabled):
-            for second_union in enabled[index + 1 :]:
-                core = _split_candidates(first_union, second_union)
-                if core is None:
-                    continue
-                if core == first_union or core == second_union:
-                    continue
-                rest_first = Reaction(
-                    first_union.domain,
-                    {
-                        name: first_union.value(name)
-                        for name in first_union.present_signals() - core.present_signals()
-                    },
+    enabled = checker.non_silent_reactions_from(state)
+    for index, first_union in enumerate(enabled):
+        for second_union in enabled[index + 1 :]:
+            core = _split_candidates(first_union, second_union)
+            if core is None:
+                continue
+            if core == first_union or core == second_union:
+                continue
+            rest_first = Reaction(
+                first_union.domain,
+                {
+                    name_: first_union.value(name_)
+                    for name_ in first_union.present_signals() - core.present_signals()
+                },
+            )
+            rest_second = Reaction(
+                second_union.domain,
+                {
+                    name_: second_union.value(name_)
+                    for name_ in second_union.present_signals() - core.present_signals()
+                },
+            )
+            if rest_first.is_silent() or rest_second.is_silent():
+                continue
+            # Definition 2 quantifies over *independent* reactions: the core and
+            # the two remainders must be pairwise independent for (2c) to apply.
+            if not independent(rest_first, rest_second):
+                continue
+            if not checker.enables(state, core):
+                return InvariantResult(
+                    name,
+                    False,
+                    f"from state {dict(state)}, the common part {core} of two enabled "
+                    f"reactions is not itself enabled",
                 )
-                rest_second = Reaction(
-                    second_union.domain,
-                    {
-                        name: second_union.value(name)
-                        for name in second_union.present_signals() - core.present_signals()
-                    },
-                )
-                if rest_first.is_silent() or rest_second.is_silent():
-                    continue
-                # Definition 2 quantifies over *independent* reactions: the core and
-                # the two remainders must be pairwise independent for (2c) to apply.
-                if not independent(rest_first, rest_second):
-                    continue
-                if not checker.enables(state, core):
+            after_core = checker.successor(state, core)
+            if after_core is None:
+                continue
+            for rest in (rest_first, rest_second):
+                if not checker.enables(after_core, rest):
                     return InvariantResult(
                         name,
                         False,
-                        f"from state {dict(state)}, the common part {core} of two enabled "
-                        f"reactions is not itself enabled",
+                        f"from state {dict(state)}, {core} cannot be followed by {rest} "
+                        f"although their union is enabled",
                     )
-                after_core = checker.successor(state, core)
-                if after_core is None:
-                    continue
-                for rest in (rest_first, rest_second):
-                    if not checker.enables(after_core, rest):
-                        return InvariantResult(
-                            name,
-                            False,
-                            f"from state {dict(state)}, {core} cannot be followed by {rest} "
-                            f"although their union is enabled",
-                        )
+    return None
+
+
+_AXIOMS = (
+    ("determinism", _determinism_at),
+    ("axiom 2a (commutation)", _axiom_2a_at),
+    ("axiom 2b (merge)", _axiom_2b_at),
+    ("axiom 2c (decomposition)", _axiom_2c_at),
+)
+
+
+def _sweep(checker, name: str, axiom_at) -> InvariantResult:
+    """One full sweep of one axiom over every state the engine serves."""
+    for state in checker.iter_states():
+        violation = axiom_at(checker, state)
+        if violation is not None:
+            return violation
     return InvariantResult(name, True)
 
+
+# ---------------------------------------------------------------------------
+# The two drivers
+# ---------------------------------------------------------------------------
 
 def check_weak_endochrony(
     process: NormalizedProcess,
     lts: Optional[ReactionLTS] = None,
     hierarchy: Optional[ClockHierarchy] = None,
     max_states: int = 512,
+    checker=None,
 ) -> WeakEndochronyReport:
-    """Check Definition 2 on the reaction LTS of the boolean abstraction."""
-    if lts is None:
-        lts = build_lts(process, hierarchy, max_states=max_states)
-    checker = ExplicitStateChecker(lts)
-    report = WeakEndochronyReport(
-        process_name=process.name,
-        states_explored=lts.state_count(),
-        transitions_explored=lts.transition_count(),
-    )
-    report.results.append(checker.is_deterministic())
-    report.results.append(_check_axiom_2a(checker, lts))
-    report.results.append(_check_axiom_2b(checker, lts))
-    report.results.append(_check_axiom_2c(checker, lts))
+    """Check Definition 2 on the reaction LTS of the boolean abstraction.
+
+    With a pre-explored (or buildable) ``lts``, all four axioms are swept and
+    reported.  With an on-the-fly ``checker``, the axioms are checked
+    together at each state as the frontier advances and the check returns at
+    the first violating reaction — the report is then marked incomplete and
+    counts only the states actually expanded.
+    """
+    if checker is None:
+        if lts is None:
+            lts = build_lts(process, hierarchy, max_states=max_states)
+        eager = ExplicitStateChecker(lts)
+        report = WeakEndochronyReport(process_name=process.name)
+        report.results = [_sweep(eager, name, axiom_at) for name, axiom_at in _AXIOMS]
+        report.states_explored = lts.state_count()
+        report.transitions_explored = lts.transition_count()
+        return report
+
+    # per-query exploration metric: the states this check visited (whether
+    # the engine expanded them now or served them from the session's memo) —
+    # the early-termination win Cost.states is meant to show
+    report = WeakEndochronyReport(process_name=process.name)
+    visited = 0
+    transitions_seen = 0
+    for state in checker.iter_states():
+        visited += 1
+        transitions_seen += len(checker.transitions_from(state))
+        for _name, axiom_at in _AXIOMS:
+            violation = axiom_at(checker, state)
+            if violation is not None:
+                report.results.append(violation)
+                report.complete = False
+                report.states_explored = visited
+                report.transitions_explored = transitions_seen
+                return report
+    report.results = [InvariantResult(name, True) for name, _axiom_at in _AXIOMS]
+    # a bound-cut exploration proves nothing beyond the bound
+    report.complete = not checker.truncated
+    report.states_explored = visited
+    report.transitions_explored = transitions_seen
     return report
 
 
@@ -190,14 +271,15 @@ def model_check_weak_endochrony(
     lts: Optional[ReactionLTS] = None,
     flow_signals: Iterable[str] = (),
     max_states: int = 512,
+    checker=None,
 ) -> WeakEndochronyInvariantReport:
     """Section 4.1: check invariants (1)-(3) over the roots of the hierarchy."""
     analysis = analysis or ProcessAnalysis(process)
-    if lts is None:
+    if checker is None and lts is None:
         lts = build_lts(process, analysis.hierarchy, max_states=max_states)
     flow_signals = tuple(flow_signals) or tuple(process.outputs)
     return check_weak_endochrony_invariants(
-        lts, analysis.hierarchy.root_signals(), flow_signals
+        lts, analysis.hierarchy.root_signals(), flow_signals, checker=checker
     )
 
 
@@ -207,6 +289,7 @@ def verify_weak_endochrony(
     lts: Optional[ReactionLTS] = None,
     method: str = "explicit",
     max_states: int = 512,
+    checker=None,
 ) -> Verdict:
     """Definition 2 as a :class:`~repro.api.results.Verdict`.
 
@@ -214,14 +297,17 @@ def verify_weak_endochrony(
     on the reaction LTS (:func:`check_weak_endochrony`); ``method="symbolic"``
     uses the invariant formulation of Section 4.1 over the hierarchy roots
     (:func:`model_check_weak_endochrony`) — the form the paper would hand to
-    Sigali, and the exploration whose cost Theorem 1 avoids.
+    Sigali, and the exploration whose cost Theorem 1 avoids.  Either method
+    accepts an on-the-fly ``checker`` instead of a pre-built ``lts``.
     """
     with stopwatch() as elapsed:
         if method == "explicit":
-            report = check_weak_endochrony(process, lts=lts, max_states=max_states)
+            report = check_weak_endochrony(
+                process, lts=lts, max_states=max_states, checker=checker
+            )
         elif method == "symbolic":
             report = model_check_weak_endochrony(
-                process, analysis=analysis, lts=lts, max_states=max_states
+                process, analysis=analysis, lts=lts, max_states=max_states, checker=checker
             )
         else:
             raise ValueError(
@@ -237,6 +323,7 @@ def verify_weak_endochrony(
             seconds=elapsed[0],
             states=report.states_explored,
             transitions=report.transitions_explored,
+            state_bound=max_states,
         ),
         report=report,
     )

@@ -19,8 +19,12 @@ the plain tier-1 suite)
 
 import time
 
+from _record import recorder
+
 from repro import Design, ProcessAnalysis, check_weakly_hierarchic
 from repro.library.generators import pipeline_network
+
+RECORD = recorder("api_session")
 
 SIZE = 5
 ROUNDS = 3
@@ -82,6 +86,8 @@ def test_shared_session_is_strictly_faster():
         session = _session_round(design)
     session_seconds = time.perf_counter() - start
 
+    RECORD.record(f"pipeline_{SIZE} per-call x{ROUNDS}", seconds=per_call_seconds)
+    RECORD.record(f"pipeline_{SIZE} session x{ROUNDS}", seconds=session_seconds)
     # both sides agree on every verdict (the composition itself is not
     # hierarchic — one root per pipeline stage — so query 2 is False)
     assert per_call == session == [True, False, True, True]

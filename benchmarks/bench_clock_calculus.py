@@ -6,10 +6,14 @@ relations and classes of Section 3.2, the hierarchy of Section 3.3, the
 disjunctive form of Section 3.4 and the scheduling graph of Section 3.5.
 """
 
+from _record import recorder, timed
+
 from repro.clocks.algebra import ClockAlgebra
 from repro.clocks.disjunctive import to_disjunctive_form
 from repro.clocks.hierarchy import build_hierarchy
 from repro.clocks.inference import infer_timing_relations
+
+RECORD = recorder("clock_calculus")
 from repro.lang.ast import ClockBinary, ClockFalse, ClockOf, ClockTrue
 from repro.properties.compilable import ProcessAnalysis
 from repro.sched.closure import is_acyclic
@@ -23,6 +27,8 @@ def test_buffer_clock_inference(benchmark, paper_processes):
     process = paper_processes["buffer"]
     relations = benchmark(infer_timing_relations, process)
     assert len(relations.clock_relations) >= 4
+    _relations, seconds = timed(infer_timing_relations, process)
+    RECORD.record("buffer clock inference", seconds=seconds)
 
 
 def test_buffer_clock_classes(benchmark, paper_processes):
@@ -49,6 +55,8 @@ def test_buffer_hierarchy_construction(benchmark, paper_processes):
     process = paper_processes["buffer"]
     relations = infer_timing_relations(process)
     hierarchy = benchmark(build_hierarchy, process, relations)
+    _hierarchy, seconds = timed(build_hierarchy, process, relations)
+    RECORD.record("buffer hierarchy", seconds=seconds)
     assert hierarchy.is_hierarchic()
     assert hierarchy.same_class(ClockOf("x"), ClockTrue("buffer_t"))
     assert hierarchy.same_class(ClockOf("y"), ClockFalse("buffer_t"))

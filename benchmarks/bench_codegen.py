@@ -7,9 +7,13 @@ interpreter on the same process, which quantifies what the sequential scheme
 buys over direct interpretation.
 """
 
+from _record import recorder, timed
+
 from repro.codegen.runtime import StreamIO
 from repro.codegen.sequential import compile_process
 from repro.semantics.interpreter import SignalInterpreter
+
+RECORD = recorder("codegen")
 
 STREAM_LENGTH = 256
 
@@ -17,6 +21,8 @@ STREAM_LENGTH = 256
 def test_compile_buffer(benchmark, paper_processes):
     compiled = benchmark(compile_process, paper_processes["buffer"])
     assert "buffer_iterate" in compiled.python_source
+    _compiled, seconds = timed(compile_process, paper_processes["buffer"])
+    RECORD.record("compile buffer", seconds=seconds)
 
 
 def test_compile_filter(benchmark, paper_processes):
@@ -36,6 +42,8 @@ def test_generated_buffer_throughput(benchmark, paper_processes):
 
     outputs = benchmark(run)
     assert outputs == values
+    _outputs, seconds = timed(run)
+    RECORD.record(f"generated buffer x{STREAM_LENGTH}", seconds=seconds)
 
 
 def test_interpreted_buffer_throughput(benchmark, paper_processes):

@@ -11,7 +11,11 @@ static analysis); the execution benchmarks reuse one session, whose cached
 analyses are exactly what the deployment schemes share in practice.
 """
 
+from _record import recorder, timed
+
 from repro import Design
+
+RECORD = recorder("composition")
 
 INPUTS = {"a": [True, False, True, False], "b": [False, True, False, True]}
 EXPECTED_U = [1, 2]
@@ -33,6 +37,8 @@ def test_ltta_criterion(benchmark, paper_processes):
     verdict = benchmark(criterion)
     assert verdict.holds
     assert not verdict.report.endochronous_composition()
+    _verdict, seconds = timed(criterion)
+    RECORD.record("ltta criterion", seconds=seconds)
 
 
 def test_producer_consumer_criterion(benchmark, paper_processes):
@@ -45,6 +51,8 @@ def test_producer_consumer_criterion(benchmark, paper_processes):
     verdict = benchmark(criterion)
     assert verdict.holds
     assert any("[¬a]" in c and "[b]" in c for c in verdict.report.reported_constraints)
+    _verdict, seconds = timed(criterion)
+    RECORD.record("producer/consumer criterion", seconds=seconds)
 
 
 def test_sequential_code_generation(benchmark, paper_processes):

@@ -6,7 +6,11 @@ re-verify the alternating-bit property (the reader recovers the writer's flow
 in order, without duplication) on every round.
 """
 
+from _record import recorder, timed
+
 from repro.semantics.interpreter import ABSENT, SignalInterpreter
+
+RECORD = recorder("ltta")
 
 
 def run_ltta(components, sample_count):
@@ -42,6 +46,8 @@ def test_ltta_transmission(benchmark, paper_processes):
     """One writer sample per bus/reader cycle: every value is delivered exactly once."""
     received = benchmark(run_ltta, paper_processes, 32)
     assert received == [1000 + index for index in range(32)]
+    _received, seconds = timed(run_ltta, paper_processes, 32)
+    RECORD.record("ltta transmission x32", seconds=seconds)
 
 
 def test_ltta_oversampled_reader(benchmark, paper_processes):

@@ -5,20 +5,37 @@ Times the construction of the reaction LTS and the checking of the Section
 for Sigali), on the paper's two compositions.
 """
 
+from _record import recorder, timed
+
+from repro.mc.compiled import build_lts_compiled
 from repro.mc.symbolic import SymbolicChecker
 from repro.mc.transition import build_lts
 from repro.properties.compilable import ProcessAnalysis
 from repro.properties.weak_endochrony import check_weak_endochrony, model_check_weak_endochrony
 
+RECORD = recorder("modelcheck")
+
 
 def test_lts_construction_filter_merge(benchmark, paper_processes):
     lts = benchmark(build_lts, paper_processes["composition"])
     assert lts.state_count() >= 2
+    _lts, seconds = timed(build_lts, paper_processes["composition"])
+    RECORD.record("build_lts composition", seconds=seconds, states=lts.state_count())
 
 
 def test_lts_construction_main(benchmark, paper_processes):
     lts = benchmark(build_lts, paper_processes["pc_main"])
     assert lts.transition_count() >= 4
+    _lts, seconds = timed(build_lts, paper_processes["pc_main"])
+    RECORD.record("build_lts pc_main", seconds=seconds, states=lts.state_count())
+
+
+def test_compiled_lts_construction_main(benchmark, paper_processes):
+    """The compiled counterpart of the eager construction above."""
+    lts = benchmark(build_lts_compiled, paper_processes["pc_main"])
+    assert lts.transition_count() >= 4
+    _lts, seconds = timed(build_lts_compiled, paper_processes["pc_main"])
+    RECORD.record("build_lts_compiled pc_main", seconds=seconds, states=lts.state_count())
 
 
 def test_explicit_invariants_main(benchmark, paper_processes):
@@ -27,6 +44,8 @@ def test_explicit_invariants_main(benchmark, paper_processes):
     lts = build_lts(process, analysis.hierarchy)
     report = benchmark(model_check_weak_endochrony, process, analysis, lts)
     assert report.holds()
+    _report, seconds = timed(model_check_weak_endochrony, process, analysis, lts)
+    RECORD.record("invariants pc_main", seconds=seconds, states=lts.state_count())
 
 
 def test_definition2_check_filter_merge(benchmark, paper_processes):
@@ -34,6 +53,8 @@ def test_definition2_check_filter_merge(benchmark, paper_processes):
     lts = build_lts(process)
     report = benchmark(check_weak_endochrony, process, lts)
     assert report.holds()
+    _report, seconds = timed(check_weak_endochrony, process, lts)
+    RECORD.record("definition2 composition", seconds=seconds, states=lts.state_count())
 
 
 def test_symbolic_reachability_main(benchmark, paper_processes):
@@ -45,6 +66,11 @@ def test_symbolic_reachability_main(benchmark, paper_processes):
 
     count = benchmark(explore)
     assert count == lts.state_count()
+    checker = SymbolicChecker(lts)
+    _count, seconds = timed(checker.reachable_count)
+    RECORD.record(
+        "symbolic pc_main", seconds=seconds, states=count, bdd_nodes=checker.bdd_nodes()
+    )
 
 
 def test_symbolic_reachability_filter_merge(benchmark, paper_processes):
@@ -56,3 +82,8 @@ def test_symbolic_reachability_filter_merge(benchmark, paper_processes):
 
     count = benchmark(explore)
     assert count == lts.state_count()
+    checker = SymbolicChecker(lts)
+    _count, seconds = timed(checker.reachable_count)
+    RECORD.record(
+        "symbolic composition", seconds=seconds, states=count, bdd_nodes=checker.bdd_nodes()
+    )

@@ -36,12 +36,16 @@ import time
 
 import pytest
 
+from _record import recorder
+
 from repro import Design
 from repro.lang.builder import ProcessBuilder, signal
 from repro.lang.normalize import normalize
 from repro.library.generators import chain_of_buffers, pipeline_network
 from repro.mc import OnTheFlyChecker, ProductLTS, build_lts
 from repro.properties.weak_endochrony import check_weak_endochrony
+
+RECORD = recorder("onthefly")
 
 #: the shared exploration budget of scenario 1 (states the engines may visit)
 BUDGET = 256
@@ -100,6 +104,16 @@ def test_lazy_concludes_one_size_beyond_eager_budget():
     assert eager_lts.truncated
     assert eager_report.states_explored >= BUDGET
 
+    RECORD.record(
+        f"buffers_{SIZE_BEYOND}+arbiter lazy hunt",
+        seconds=lazy_seconds,
+        states=engine.states_expanded,
+    )
+    RECORD.record(
+        f"buffers_{SIZE_BEYOND}+arbiter eager",
+        seconds=eager_seconds,
+        states=eager_lts.state_count(),
+    )
     assert lazy_seconds < eager_seconds / 10, (
         f"lazy {lazy_seconds:.3f}s vs eager {eager_seconds:.3f}s"
     )
@@ -143,6 +157,8 @@ def test_lazy_product_beats_eager_choice_enumeration():
     lazy_seconds = time.perf_counter() - start
     assert result.holds and not engine.truncated
 
+    RECORD.record("pipeline_10 lazy non-blocking", seconds=lazy_seconds)
+    RECORD.record("pipeline_6 eager build", seconds=eager_seconds)
     assert lazy_seconds < eager_seconds, (
         f"lazy n=10 {lazy_seconds:.3f}s vs eager n=6 {eager_seconds:.3f}s"
     )

@@ -6,8 +6,12 @@
   Section 4.1 (E11).
 """
 
+from _record import recorder, timed
+
 from repro.mc.transition import build_lts
 from repro.properties.compilable import ProcessAnalysis
+
+RECORD = recorder("properties")
 from repro.properties.endochrony import check_endochrony_on_traces, is_endochronous
 from repro.properties.isochrony import check_isochrony
 from repro.properties.nonblocking import is_non_blocking
@@ -57,6 +61,10 @@ def test_weak_endochrony_of_filter_merge(benchmark, paper_processes):
     """E11: Definition 2 on the filter|merge composition's reaction LTS."""
     report = benchmark(check_weak_endochrony, paper_processes["composition"])
     assert report.holds()
+    _report, seconds = timed(check_weak_endochrony, paper_processes["composition"])
+    RECORD.record(
+        "weak endochrony composition", seconds=seconds, states=report.states_explored
+    )
 
 
 def test_weak_endochrony_invariants_of_main(benchmark, paper_processes):
@@ -79,3 +87,5 @@ def test_non_blocking_of_compositions(benchmark, paper_processes):
 
     first, second = benchmark(verdicts)
     assert first.holds and second.holds
+    _verdicts, seconds = timed(verdicts)
+    RECORD.record("non-blocking compositions", seconds=seconds)

@@ -19,8 +19,12 @@ Run with:  pytest benchmarks/bench_static_vs_modelcheck.py --benchmark-only
 
 import pytest
 
+from _record import recorder, timed
+
 from repro import Design
 from repro.library.generators import independent_components, pipeline_network, star_network
+
+RECORD = recorder("static_vs_modelcheck")
 
 PIPELINE_SIZES = (1, 2, 3, 4)
 INDEPENDENT_SIZES = (2, 4, 6)
@@ -43,6 +47,8 @@ def test_static_criterion_on_pipeline(benchmark, size):
     verdict = benchmark(check)
     assert verdict.holds
     assert verdict.cost.states == 0  # no exploration at all
+    _verdict, seconds = timed(check)
+    RECORD.record(f"pipeline_{size} static", seconds=seconds, states=0)
 
 
 @pytest.mark.parametrize("size", PIPELINE_SIZES)
@@ -56,6 +62,10 @@ def test_model_checking_on_pipeline(benchmark, size):
     verdict = benchmark(explore)
     assert verdict.holds
     assert verdict.cost.transitions >= 2**size  # the reaction space grows exponentially
+    _verdict, seconds = timed(explore)
+    RECORD.record(
+        f"pipeline_{size} explicit", seconds=seconds, states=verdict.cost.states
+    )
 
 
 @pytest.mark.parametrize("size", INDEPENDENT_SIZES)

@@ -8,10 +8,14 @@ accepts a non-isochronous composition — and that is what the assertions
 re-establish on every benchmark round.
 """
 
+from _record import recorder, timed
+
 from repro.library.generators import pipeline_network, star_network
 from repro.properties.composition import check_weakly_hierarchic
 from repro.properties.isochrony import check_isochrony
 from repro.properties.weak_endochrony import check_weak_endochrony
+
+RECORD = recorder("theorem1")
 
 
 def test_theorem1_on_producer_consumer(benchmark, paper_processes):
@@ -31,6 +35,8 @@ def test_theorem1_on_producer_consumer(benchmark, paper_processes):
     assert verdict.weakly_hierarchic()
     assert weak.holds()
     assert iso.holds
+    _results, seconds = timed(verify)
+    RECORD.record("theorem1 producer/consumer", seconds=seconds)
 
 
 def test_theorem1_on_pipeline(benchmark):

@@ -6,8 +6,11 @@ the trace every benchmark round, so a regression in the semantics fails the
 benchmark rather than silently changing what is measured.
 """
 
+from _record import recorder, timed
+
 from repro.semantics.interpreter import SignalInterpreter
 
+RECORD = recorder("traces")
 
 PAPER_INPUT = [True, False, False, True, True, False]
 PAPER_EMISSION_INSTANTS = [2, 4, 6]
@@ -36,6 +39,8 @@ def test_filter_long_trace_throughput(benchmark, paper_processes):
     # the input alternates at every instant (and the first sample already differs
     # from the initial value of the delay), so x fires at every instant
     assert len(emissions) == len(stream)
+    _emissions, seconds = timed(run_filter_trace, paper_processes["filter"], stream)
+    RECORD.record("filter trace x512", seconds=seconds)
 
 
 def test_buffer_streaming_throughput(benchmark, paper_processes):

@@ -35,6 +35,7 @@ from repro.lang.ast import Composition, Instantiation, ProcessDefinition, Restri
 from repro.lang.builder import ProcessBuilder
 from repro.lang.normalize import NormalizedProcess, normalize
 from repro.lang.parser import parse_program
+from repro.mc.compiled import CompiledAbstraction
 from repro.mc.onthefly import LazyReactionLTS, OnTheFlyChecker, ProductLTS
 from repro.mc.transition import ReactionLTS, build_lts
 from repro.properties.compilable import ProcessAnalysis
@@ -71,8 +72,13 @@ class AnalysisContext:
         self._normalized: Dict[int, NormalizedProcess] = {}
         self._processes: Dict[int, NormalizedProcess] = {}
         self._analyses: Dict[int, ProcessAnalysis] = {}
-        self._ltss: Dict[Tuple[int, int], ReactionLTS] = {}
+        self._ltss: Dict[Tuple[int, int, str], ReactionLTS] = {}
         self._engines: Dict[Tuple, OnTheFlyChecker] = {}
+        self._compiled: Dict[int, Optional[CompiledAbstraction]] = {}
+        # product components are retyped under the composition's unified
+        # types, so their compilations are memoized by (equation tuple
+        # identity, effective types) — stable across product constructions
+        self._compiled_retyped: Dict[Tuple, Tuple[NormalizedProcess, Optional[CompiledAbstraction]]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -120,17 +126,78 @@ class AnalysisContext:
         self._analyses[key] = analysis
         return analysis
 
-    def lts(self, process: ProcessLike, max_states: int = 512) -> ReactionLTS:
-        """The explored reaction LTS of a process, memoized per state bound."""
+    def compiled(self, process: ProcessLike) -> Optional[CompiledAbstraction]:
+        """The compiled step relation of a process, memoized on this context.
+
+        Returns ``None`` when the process falls outside the boolean-definable
+        fragment of :mod:`repro.mc.compiled` (the engines then fall back to
+        the interpreter-backed enumeration).  The abstraction owns a private
+        BDD manager — its variable order is seeded from the process's clock
+        hierarchy and may be resifted, which a shared manager cannot allow.
+        """
         normalized_process = self.normalized(process)
-        key = (id(normalized_process), max_states)
+        key = id(normalized_process)
+        if key in self._compiled:
+            self.hits += 1
+            return self._compiled[key]
+        self.misses += 1
+        analysis = self.analysis(normalized_process)
+        abstraction = CompiledAbstraction.try_compile(normalized_process, analysis.hierarchy)
+        self._processes[key] = normalized_process
+        self._compiled[key] = abstraction
+        return abstraction
+
+    def _compile_product_component(self, component, hierarchy=None):
+        """Memoized compile for (possibly retyped) product components.
+
+        :class:`~repro.mc.onthefly.ProductLTS` re-creates its retyped
+        component objects per construction, so the id-keyed
+        :meth:`compiled` memo would always miss; the equations tuple is
+        shared with the original process, making (equations identity,
+        effective types) a stable key across product instances.
+        """
+        key = (
+            id(component.equations),
+            tuple(component.inputs),
+            tuple(sorted(component.types.items())),
+        )
+        cached = self._compiled_retyped.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached[1]
+        self.misses += 1
+        abstraction = CompiledAbstraction.try_compile(component, hierarchy)
+        # keep the component alive so the id() in the key stays valid
+        self._compiled_retyped[key] = (component, abstraction)
+        return abstraction
+
+    def lts(
+        self, process: ProcessLike, max_states: int = 512, engine: str = "compiled"
+    ) -> ReactionLTS:
+        """The explored reaction LTS of a process, memoized per state bound.
+
+        ``engine="compiled"`` (the default) drives the exploration from the
+        compiled step relation when the process fits its fragment — same
+        states, same transitions, no interpreter on the per-state path;
+        ``engine="interpreter"`` forces the historical eager enumeration.
+        """
+        normalized_process = self.normalized(process)
+        abstraction = self.compiled(normalized_process) if engine == "compiled" else None
+        effective = "compiled" if abstraction is not None else "interpreter"
+        key = (id(normalized_process), max_states, effective)
         cached = self._ltss.get(key)
         if cached is not None:
             self.hits += 1
             return cached
         self.misses += 1
         analysis = self.analysis(normalized_process)
-        lts = build_lts(normalized_process, analysis.hierarchy, max_states=max_states)
+        if abstraction is not None:
+            lazy = LazyReactionLTS(
+                normalized_process, analysis.hierarchy, abstraction=abstraction
+            )
+            lts = OnTheFlyChecker(lazy, max_states=max_states).materialize()
+        else:
+            lts = build_lts(normalized_process, analysis.hierarchy, max_states=max_states)
         self._ltss[key] = lts
         return lts
 
@@ -140,6 +207,7 @@ class AnalysisContext:
         max_states: int = 512,
         name: Optional[str] = None,
         types: Optional[Mapping[str, str]] = None,
+        engine: str = "compiled",
     ) -> OnTheFlyChecker:
         """An on-the-fly engine over the components, memoized per state bound.
 
@@ -148,10 +216,16 @@ class AnalysisContext:
         per-component reactions on demand and never materializes the
         composed state space.  The engine is a monotone cache: queries
         issued through the same context keep extending one exploration.
+
+        ``engine`` selects the per-component reaction source: ``"compiled"``
+        (the default) enumerates admissible reactions from each component's
+        compiled step relation, transparently falling back per component to
+        the interpreter-backed abstraction outside the compiled fragment;
+        ``"interpreter"`` opts out of compilation entirely.
         """
         normalized_components = [self.normalized(component) for component in components]
         types_key = tuple(sorted(types.items())) if types is not None else None
-        key = (tuple(id(c) for c in normalized_components), max_states, name, types_key)
+        key = (tuple(id(c) for c in normalized_components), max_states, name, types_key, engine)
         cached = self._engines.get(key)
         if cached is not None:
             self.hits += 1
@@ -159,12 +233,24 @@ class AnalysisContext:
         self.misses += 1
         hierarchies = [self.analysis(c).hierarchy for c in normalized_components]
         if len(normalized_components) == 1:
-            lazy = LazyReactionLTS(normalized_components[0], hierarchies[0])
+            abstraction = (
+                self.compiled(normalized_components[0]) if engine == "compiled" else None
+            )
+            lazy = LazyReactionLTS(
+                normalized_components[0], hierarchies[0], abstraction=abstraction
+            )
         else:
-            lazy = ProductLTS(normalized_components, hierarchies, name=name, types=types)
-        engine = OnTheFlyChecker(lazy, max_states=max_states)
-        self._engines[key] = engine
-        return engine
+            lazy = ProductLTS(
+                normalized_components,
+                hierarchies,
+                name=name,
+                types=types,
+                engine=engine,
+                compile_component=self._compile_product_component,
+            )
+        engine_checker = OnTheFlyChecker(lazy, max_states=max_states)
+        self._engines[key] = engine_checker
+        return engine_checker
 
     def _definition_from_source(self, source: str) -> ProcessDefinition:
         definitions = parse_program(source)
@@ -185,6 +271,7 @@ class AnalysisContext:
             "analyses": len(self._analyses),
             "ltss": len(self._ltss),
             "engines": len(self._engines),
+            "compiled": sum(1 for a in self._compiled.values() if a is not None),
             "bdd_variables": len(self.manager.variables()),
         }
 

@@ -11,12 +11,27 @@ The implementation follows the classical Bryant construction:
 
 Variables are referred to by name; their order is the order of registration
 with :meth:`BDDManager.declare` (callers that care about ordering declare
-variables explicitly up front).
+variables explicitly up front).  The order can be revised after the fact
+with :meth:`BDDManager.reorder` (an explicit permutation) or
+:meth:`BDDManager.sift` (Rudell's sifting heuristic); both rebuild the
+graphs of the roots they are given and invalidate every other handle, so
+they are meant for managers with a single owner — the compiled reaction
+engine of :mod:`repro.mc.compiled` runs them right after compilation.
+
+Three performance features keep long-lived managers healthy:
+
+* the computed tables (``apply`` / ``ite``) are *bounded*: past
+  ``computed_table_limit`` entries they are cleared rather than growing
+  without bound (the classical cache-flush eviction policy);
+* :meth:`BDDManager.collect_garbage` drops every node not reachable from a
+  given set of roots and compacts the unique table;
+* :meth:`BDDManager.satisfy_all` enumerates satisfying assignments by
+  walking the DAG — its cost is proportional to the number of solutions
+  (output-sensitive), not to ``2^n`` over the variables.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 
@@ -149,9 +164,12 @@ class BDDManager:
     FALSE_INDEX = 0
     TRUE_INDEX = 1
 
-    def __init__(self, variables: Iterable[str] = ()):
+    #: level sentinel used by the two terminal nodes
+    TERMINAL_LEVEL = 2**30
+
+    def __init__(self, variables: Iterable[str] = (), computed_table_limit: int = 1 << 20):
         # nodes[i] = (level, low, high); terminals use level = a large sentinel
-        self._levels: List[int] = [2**30, 2**30]
+        self._levels: List[int] = [self.TERMINAL_LEVEL, self.TERMINAL_LEVEL]
         self._lows: List[int] = [0, 1]
         self._highs: List[int] = [0, 1]
         self._unique: Dict[Tuple[int, int, int], int] = {}
@@ -159,6 +177,11 @@ class BDDManager:
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._names: List[str] = []
         self._levels_by_name: Dict[str, int] = {}
+        #: past this many computed-table entries the caches are flushed
+        self.computed_table_limit = computed_table_limit
+        self.cache_evictions = 0
+        self.gc_runs = 0
+        self.reorder_runs = 0
         for name in variables:
             self.declare(name)
 
@@ -266,6 +289,37 @@ class BDDManager:
         return BDD(self, self._apply(operation, left.index, right.index))
 
     def _apply(self, operation: str, left: int, right: int) -> int:
+        # fast paths: identical operands and one-terminal identities resolve
+        # without recursion, cache lookups or node construction
+        if left == right:
+            if operation in ("and", "or"):
+                return left
+            if operation == "xor":
+                return self.FALSE_INDEX
+            if operation in ("iff", "implies"):
+                return self.TRUE_INDEX
+        if operation == "and":
+            if left == self.TRUE_INDEX:
+                return right
+            if right == self.TRUE_INDEX:
+                return left
+        elif operation == "or":
+            if left == self.FALSE_INDEX:
+                return right
+            if right == self.FALSE_INDEX:
+                return left
+        elif operation == "xor":
+            if left == self.FALSE_INDEX:
+                return right
+            if right == self.FALSE_INDEX:
+                return left
+        elif operation == "implies" and left == self.TRUE_INDEX:
+            return right
+        elif operation == "iff":
+            if left == self.TRUE_INDEX:
+                return right
+            if right == self.TRUE_INDEX:
+                return left
         terminal = self._terminal_op(
             operation, self._as_terminal(left), self._as_terminal(right)
         )
@@ -289,6 +343,9 @@ class BDDManager:
         low = self._apply(operation, left_low, right_low)
         high = self._apply(operation, left_high, right_high)
         result = self._make_node(level, low, high)
+        if len(self._apply_cache) >= self.computed_table_limit:
+            self._apply_cache.clear()
+            self.cache_evictions += 1
         self._apply_cache[key] = result
         return result
 
@@ -297,11 +354,25 @@ class BDDManager:
 
     def ite(self, condition: BDD, then_branch: BDD, else_branch: BDD) -> BDD:
         """If-then-else: ``(condition & then) | (~condition & else)``."""
+        # terminal fast paths: no cache traffic, no apply recursion
+        if condition.index == self.TRUE_INDEX:
+            return then_branch
+        if condition.index == self.FALSE_INDEX:
+            return else_branch
+        if then_branch.index == else_branch.index:
+            return then_branch
+        if then_branch.index == self.TRUE_INDEX and else_branch.index == self.FALSE_INDEX:
+            return condition
+        if then_branch.index == self.FALSE_INDEX and else_branch.index == self.TRUE_INDEX:
+            return ~condition
         key = (condition.index, then_branch.index, else_branch.index)
         cached = self._ite_cache.get(key)
         if cached is not None:
             return BDD(self, cached)
         result = (condition & then_branch) | (~condition & else_branch)
+        if len(self._ite_cache) >= self.computed_table_limit:
+            self._ite_cache.clear()
+            self.cache_evictions += 1
         self._ite_cache[key] = result.index
         return result
 
@@ -417,12 +488,46 @@ class BDDManager:
     def satisfy_all(
         self, node: BDD, variables: Optional[Sequence[str]] = None
     ) -> Iterator[Dict[str, bool]]:
-        """All satisfying assignments, expanded over ``variables`` (default: support)."""
+        """All satisfying assignments, expanded over ``variables`` (default: support).
+
+        The enumeration walks the BDD instead of testing the ``2^n`` cube:
+        every path explored ends in at least one solution (in a reduced BDD
+        the only unsatisfiable node is the FALSE terminal), so the cost is
+        proportional to the number of assignments yielded, times the number
+        of variables — output-sensitive, which is what lets the compiled
+        reaction engine enumerate exactly the admissible reactions of a
+        state.  ``variables`` must cover the support of ``node``.
+        """
         names = tuple(variables) if variables is not None else tuple(sorted(self.support(node)))
-        for bits in itertools.product((False, True), repeat=len(names)):
-            assignment = dict(zip(names, bits))
-            if self.evaluate(node, assignment):
-                yield assignment
+        missing = self.support(node) - set(names)
+        if missing:
+            raise ValueError(
+                f"satisfy_all variables must cover the support; missing {sorted(missing)}"
+            )
+        # walk in manager level order; names unknown to the manager expand last
+        ordered = sorted(
+            names, key=lambda name: self._levels_by_name.get(name, self.TERMINAL_LEVEL)
+        )
+        assignment: Dict[str, bool] = {}
+
+        def walk(index: int, position: int) -> Iterator[Dict[str, bool]]:
+            if index == self.FALSE_INDEX:
+                return
+            if position == len(ordered):
+                yield {name: assignment[name] for name in names}
+                return
+            name = ordered[position]
+            level = self._levels_by_name.get(name, self.TERMINAL_LEVEL)
+            if self._levels[index] == level:
+                branches = ((False, self._lows[index]), (True, self._highs[index]))
+            else:
+                branches = ((False, index), (True, index))  # don't care on ``name``
+            for value, child in branches:
+                assignment[name] = value
+                yield from walk(child, position + 1)
+            del assignment[name]
+
+        yield from walk(node.index, 0)
 
     def count(self, node: BDD, variables: Optional[Sequence[str]] = None) -> int:
         """Number of satisfying assignments over ``variables`` (default: support)."""
@@ -481,3 +586,317 @@ class BDDManager:
 
     def equivalent(self, left: BDD, right: BDD) -> bool:
         return left.index == right.index
+
+    # -- maintenance: GC, reordering, sifting -------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Operational counters for benchmarks and health checks."""
+        return {
+            "nodes": len(self._levels),
+            "variables": len(self._names),
+            "apply_cache": len(self._apply_cache),
+            "ite_cache": len(self._ite_cache),
+            "cache_evictions": self.cache_evictions,
+            "gc_runs": self.gc_runs,
+            "reorder_runs": self.reorder_runs,
+        }
+
+    def clear_caches(self) -> None:
+        self._apply_cache.clear()
+        self._ite_cache.clear()
+
+    def collect_garbage(self, keep: Sequence[BDD]) -> List[BDD]:
+        """Drop every node unreachable from ``keep`` and compact the table.
+
+        The handles in ``keep`` are re-pointed in place (their functions are
+        unchanged) and returned; **any other outstanding handle of this
+        manager becomes stale**.  Use on single-owner managers — the compiled
+        reaction engine calls this once after compilation to shed the
+        intermediate conjuncts.
+        """
+        marked: Set[int] = {self.FALSE_INDEX, self.TRUE_INDEX}
+        stack = [handle.index for handle in keep]
+        while stack:
+            index = stack.pop()
+            if index in marked:
+                continue
+            marked.add(index)
+            stack.append(self._lows[index])
+            stack.append(self._highs[index])
+        # children are always interned before their parents, so one ascending
+        # pass can rebuild the arrays with every child already remapped
+        remap: Dict[int, int] = {self.FALSE_INDEX: 0, self.TRUE_INDEX: 1}
+        levels: List[int] = [self.TERMINAL_LEVEL, self.TERMINAL_LEVEL]
+        lows: List[int] = [0, 1]
+        highs: List[int] = [0, 1]
+        unique: Dict[Tuple[int, int, int], int] = {}
+        for index in range(2, len(self._levels)):
+            if index not in marked:
+                continue
+            remap[index] = len(levels)
+            level = self._levels[index]
+            low = remap[self._lows[index]]
+            high = remap[self._highs[index]]
+            unique[(level, low, high)] = len(levels)
+            levels.append(level)
+            lows.append(low)
+            highs.append(high)
+        self._levels, self._lows, self._highs = levels, lows, highs
+        self._unique = unique
+        self.clear_caches()
+        self.gc_runs += 1
+        for handle in keep:
+            handle.index = remap[handle.index]
+        return list(keep)
+
+    def reorder(self, order: Sequence[str], keep: Sequence[BDD]) -> List[BDD]:
+        """Rebuild the roots in ``keep`` under a new variable order.
+
+        ``order`` lists variable names first; declared variables it omits
+        keep their relative order after the listed ones.  The rebuild is a
+        memoized Shannon transfer, so it is correct independently of how the
+        order was chosen.  Handles in ``keep`` are re-pointed in place and
+        returned; any other handle becomes stale (single-owner managers
+        only).  Garbage from the old order is collected before returning.
+        """
+        listed = [name for name in order if name in self._levels_by_name]
+        listed_set = set(listed)
+        remaining = [name for name in self._names if name not in listed_set]
+        new_names = listed + remaining
+        if new_names == self._names:
+            return list(keep)
+        old_levels, old_lows, old_highs = self._levels, self._lows, self._highs
+        old_names = self._names
+        self._levels = [self.TERMINAL_LEVEL, self.TERMINAL_LEVEL]
+        self._lows = [0, 1]
+        self._highs = [0, 1]
+        self._unique = {}
+        self.clear_caches()
+        self._names = list(new_names)
+        self._levels_by_name = {name: level for level, name in enumerate(new_names)}
+        memo: Dict[int, int] = {self.FALSE_INDEX: 0, self.TRUE_INDEX: 1}
+
+        def transfer(index: int) -> int:
+            cached = memo.get(index)
+            if cached is not None:
+                return cached
+            variable = self.var(old_names[old_levels[index]])
+            result = self.ite(
+                variable,
+                BDD(self, transfer(old_highs[index])),
+                BDD(self, transfer(old_lows[index])),
+            ).index
+            memo[index] = result
+            return result
+
+        for handle in keep:
+            handle.index = transfer(handle.index)
+        self.reorder_runs += 1
+        self.collect_garbage(keep)
+        return list(keep)
+
+    def sift(self, keep: Sequence[BDD], max_variables: Optional[int] = None) -> List[BDD]:
+        """Rudell-style sifting: move each variable to its best position.
+
+        The search runs on a private shadow copy of the graphs in ``keep``
+        (adjacent-level swaps with reference counts), so it only *chooses*
+        an order; the actual reordering is the semantics-preserving rebuild
+        of :meth:`reorder`.  Variables are sifted in decreasing order of
+        node population; ``max_variables`` bounds how many are sifted (all
+        by default).  Handles in ``keep`` are re-pointed in place and
+        returned; other handles become stale.
+        """
+        support: Set[str] = set()
+        for handle in keep:
+            support |= self.support(handle)
+        if len(support) < 3:
+            return list(keep)
+        session = _SiftSession(self, keep)
+        order = session.run(max_variables)
+        return self.reorder(order, keep)
+
+
+class _SiftSession:
+    """A private, refcounted shadow of some BDD roots used to *choose* an order.
+
+    Nodes are small lists ``[level, low, high]`` in a per-level unique table;
+    adjacent levels are swapped in place with the classical Rudell update, so
+    evaluating a candidate position costs only the nodes of the two levels
+    involved.  The session never feeds nodes back into the manager: its only
+    product is a variable order, consumed by :meth:`BDDManager.reorder`.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, manager: BDDManager, roots: Sequence[BDD]):
+        support: Set[str] = set()
+        for root in roots:
+            support |= manager.support(root)
+        #: position -> variable name, in the manager's current relative order
+        self.names: List[str] = [name for name in manager.variables() if name in support]
+        position_of = {name: position for position, name in enumerate(self.names)}
+        # nodes[id] = [level, low, high]; 0/1 are the terminals
+        self.nodes: List[List[int]] = [[len(self.names), 0, 0], [len(self.names), 1, 1]]
+        self.refs: List[int] = [1, 1]
+        self.tables: List[Dict[Tuple[int, int], int]] = [{} for _ in self.names]
+        copied: Dict[int, int] = {
+            BDDManager.FALSE_INDEX: self.FALSE,
+            BDDManager.TRUE_INDEX: self.TRUE,
+        }
+
+        def copy(index: int) -> int:
+            cached = copied.get(index)
+            if cached is not None:
+                return cached
+            level = position_of[manager.level_name(manager.node_level(index))]
+            low = copy(manager.node_low(index))
+            high = copy(manager.node_high(index))
+            node = self._lookup(level, low, high)
+            copied[index] = node
+            return node
+
+        self.root_ids = [copy(root.index) for root in roots]
+        for node in self.root_ids:
+            self.refs[node] += 1
+        # the copy pass left one construction reference per distinct node;
+        # shed it so refcounts mean exactly "parents plus roots"
+        for node in copied.values():
+            if node not in (self.FALSE, self.TRUE):
+                self.refs[node] -= 1
+
+    # -- node store --------------------------------------------------------------
+    def _lookup(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            self.refs[low] += 1
+            return low
+        existing = self.tables[level].get((low, high))
+        if existing is not None:
+            self.refs[existing] += 1
+            return existing
+        node = len(self.nodes)
+        self.nodes.append([level, low, high])
+        self.refs.append(1)
+        self.refs[low] += 1
+        self.refs[high] += 1
+        self.tables[level][(low, high)] = node
+        return node
+
+    def _release(self, node: int) -> None:
+        if node in (self.FALSE, self.TRUE) or self.refs[node] <= 0:
+            return
+        self.refs[node] -= 1
+        if self.refs[node] == 0:
+            level, low, high = self.nodes[node]
+            table = self.tables[level]
+            if table.get((low, high)) == node:
+                del table[(low, high)]
+            else:
+                table.pop((low, high, node), None)
+            self._release(low)
+            self._release(high)
+
+    def size(self) -> int:
+        return sum(len(table) for table in self.tables)
+
+    def level_sizes(self) -> List[int]:
+        return [len(table) for table in self.tables]
+
+    @staticmethod
+    def _insert(table: Dict, key: Tuple[int, int], node: int) -> None:
+        """Insert preserving existing entries: a (rare) duplicate function gets
+        a salted slot — it only inflates the size heuristic, never breaks it."""
+        if key in table and table[key] != node:
+            table[(key[0], key[1], node)] = node
+        else:
+            table[key] = node
+
+    # -- the adjacent swap --------------------------------------------------------
+    def swap(self, upper: int) -> None:
+        """Swap the variables at levels ``upper`` and ``upper + 1`` in place.
+
+        Node ids are preserved (parents above the pair keep pointing at the
+        same ids with the same functions): a node of the upper variable that
+        depends on the lower one is rewritten in place as a lower-variable
+        node over fresh cofactor children; one that does not sinks a level;
+        lower-variable nodes still referenced from outside the pair rise.
+        """
+        lower = upper + 1
+        u_nodes = self.tables[upper]
+        v_nodes = self.tables[lower]
+        self.tables[upper] = {}
+        self.tables[lower] = {}
+        for _key, node in u_nodes.items():
+            if self.refs[node] <= 0:
+                continue
+            _level, low, high = self.nodes[node]
+            low_is_v = low > 1 and self.nodes[low][0] == lower
+            high_is_v = high > 1 and self.nodes[high][0] == lower
+            if not low_is_v and not high_is_v:
+                # independent of the rising variable: the node sinks one level
+                self.nodes[node][0] = lower
+                self._insert(self.tables[lower], (low, high), node)
+                continue
+            f00, f01 = (self.nodes[low][1], self.nodes[low][2]) if low_is_v else (low, low)
+            f10, f11 = (self.nodes[high][1], self.nodes[high][2]) if high_is_v else (high, high)
+            new_low = self._lookup(lower, f00, f10)
+            new_high = self._lookup(lower, f01, f11)
+            self.nodes[node][0] = upper
+            self.nodes[node][1] = new_low
+            self.nodes[node][2] = new_high
+            self._insert(self.tables[upper], (new_low, new_high), node)
+            self._release(low)
+            self._release(high)
+        # lower-variable nodes still referenced from roots or from levels above
+        # the pair rise; the rest died when their last upper parent released them
+        for _key, node in v_nodes.items():
+            if self.refs[node] <= 0 or self.nodes[node][0] != lower:
+                continue
+            self.nodes[node][0] = upper
+            self._insert(self.tables[upper], (self.nodes[node][1], self.nodes[node][2]), node)
+        self.names[upper], self.names[lower] = self.names[lower], self.names[upper]
+
+    # -- the sifting loop ---------------------------------------------------------
+    def run(self, max_variables: Optional[int] = None) -> List[str]:
+        """Sift variables (largest population first); return the best order."""
+        candidates = sorted(
+            range(len(self.names)),
+            key=lambda level: -len(self.tables[level]),
+        )
+        if max_variables is not None:
+            candidates = candidates[:max_variables]
+        sifted_names = [self.names[level] for level in candidates]
+        for name in sifted_names:
+            self._sift_one(name)
+        return list(self.names)
+
+    def _sift_one(self, name: str, max_growth: float = 1.5) -> None:
+        position = self.names.index(name)
+        best_size = self.size()
+        best_position = position
+        limit = int(best_size * max_growth) + 2
+        # downward pass
+        current = position
+        while current < len(self.names) - 1:
+            self.swap(current)
+            current += 1
+            size = self.size()
+            if size < best_size:
+                best_size, best_position = size, current
+            if size > limit:
+                break
+        # back up through the start
+        while current > 0:
+            self.swap(current - 1)
+            current -= 1
+            size = self.size()
+            if size < best_size:
+                best_size, best_position = size, current
+            if size > limit and current < best_position:
+                break
+        # settle at the best position seen
+        while current < best_position:
+            self.swap(current)
+            current += 1
+        while current > best_position:
+            self.swap(current - 1)
+            current -= 1

@@ -14,6 +14,12 @@ from repro.mc.transition import BooleanAbstraction, ReactionChoice, ReactionLTS,
 from repro.mc.explicit import ExplicitStateChecker, InvariantResult
 from repro.mc.onthefly import LazyReactionLTS, OnTheFlyChecker, ProductLTS
 from repro.mc.symbolic import SymbolicChecker, SymbolicProductChecker
+from repro.mc.compiled import (
+    CompilationError,
+    CompiledAbstraction,
+    build_lts_compiled,
+    compilation_obstacles,
+)
 from repro.mc.invariants import (
     check_state_independent,
     check_order_independent,
@@ -34,6 +40,10 @@ __all__ = [
     "ProductLTS",
     "SymbolicChecker",
     "SymbolicProductChecker",
+    "CompilationError",
+    "CompiledAbstraction",
+    "build_lts_compiled",
+    "compilation_obstacles",
     "check_state_independent",
     "check_order_independent",
     "check_flow_independent",

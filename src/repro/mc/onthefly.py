@@ -40,6 +40,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.clocks.hierarchy import ClockHierarchy
 from repro.lang.normalize import NormalizedProcess
 from repro.mc.transition import BooleanAbstraction, ReactionLTS, State, Transition
+from repro.mocc.interning import intern_state
 from repro.mocc.reactions import Reaction
 
 Successor = Tuple[Reaction, State]
@@ -68,6 +69,12 @@ class LazyReactionLTS:
         self.process_name = process.name
         self.initial: State = self.abstraction.initial_state()
         self._successors: Dict[State, Tuple[Successor, ...]] = {}
+
+    def uses_compiled(self) -> bool:
+        """True iff reactions come from a compiled step relation."""
+        from repro.mc.compiled import CompiledAbstraction
+
+        return isinstance(self.abstraction, CompiledAbstraction)
 
     def successors(self, state: State) -> Tuple[Successor, ...]:
         cached = self._successors.get(state)
@@ -108,9 +115,13 @@ class ProductLTS:
         hierarchies: Optional[Sequence[Optional[ClockHierarchy]]] = None,
         name: Optional[str] = None,
         types: Optional[Mapping[str, str]] = None,
+        engine: str = "compiled",
+        compile_component=None,
     ):
         if not components:
             raise ValueError("a product needs at least one component")
+        if engine not in ("compiled", "interpreter"):
+            raise ValueError(f"unknown product engine {engine!r}")
         hierarchies = hierarchies or [None] * len(components)
         self.components = tuple(components)
         self.process_name = name or "|".join(c.name for c in components)
@@ -145,9 +156,22 @@ class ProductLTS:
         #: types where needed) — the symbolic product must encode these same
         #: abstractions, not the locally-typed originals
         self.abstracted = tuple(component for component, _hierarchy in abstracted)
-        self._lts = [
-            LazyReactionLTS(component, hierarchy) for component, hierarchy in abstracted
-        ]
+        # ``engine="compiled"``: each component enumerates its reactions from
+        # its compiled step relation (repro.mc.compiled) when it fits the
+        # boolean-definable fragment, falling back to the interpreter-backed
+        # BooleanAbstraction per component otherwise.  ``compile_component``
+        # lets a session (AnalysisContext) serve memoized compilations so the
+        # same components are not recompiled per product instance.
+        if compile_component is None and engine == "compiled":
+            from repro.mc.compiled import CompiledAbstraction
+
+            compile_component = CompiledAbstraction.try_compile
+        self._lts = []
+        for component, hierarchy in abstracted:
+            abstraction = (
+                compile_component(component, hierarchy) if engine == "compiled" else None
+            )
+            self._lts.append(LazyReactionLTS(component, hierarchy, abstraction=abstraction))
         self._domains = [set(component.all_signals()) for component in components]
         self._union_domain = tuple(sorted(set().union(*self._domains)))
         registers: List[str] = []
@@ -179,11 +203,16 @@ class ProductLTS:
         self.initial = self._flatten(tuple(lazy.initial for lazy in self._lts))
         self._successors: Dict[State, Tuple[Successor, ...]] = {}
 
+    def uses_compiled(self) -> bool:
+        """True iff at least one component serves reactions from a compiled
+        step relation (the rest fell back to the interpreter)."""
+        return any(lazy.uses_compiled() for lazy in self._lts)
+
     def _flatten(self, component_states: Tuple[State, ...]) -> State:
         merged: List[Tuple[str, object]] = []
         for component_state in component_states:
             merged.extend(component_state)
-        flattened = tuple(sorted(merged))
+        flattened = intern_state(tuple(sorted(merged)))
         self._unflatten.setdefault(flattened, component_states)
         return flattened
 
@@ -216,7 +245,7 @@ class ProductLTS:
                 for reaction, _target in chosen:
                     for signal, value in reaction.items():
                         events[signal] = value
-                merged = Reaction(self._union_domain, events)
+                merged = Reaction.interned(self._union_domain, events)
                 target = self._flatten(tuple(target for _reaction, target in chosen))
                 results.append((merged, target))
                 return
@@ -260,6 +289,11 @@ class OnTheFlyChecker:
     @property
     def initial(self) -> State:
         return self.lazy.initial
+
+    def uses_compiled(self) -> bool:
+        """True iff the underlying lazy LTS serves compiled reactions."""
+        uses = getattr(self.lazy, "uses_compiled", None)
+        return bool(uses()) if uses is not None else False
 
     @property
     def states_expanded(self) -> int:

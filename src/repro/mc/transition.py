@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.clocks.hierarchy import ClockHierarchy, build_hierarchy
 from repro.lang.normalize import DelayEquation, NormalizedProcess
+from repro.mocc.interning import intern_state
 from repro.mocc.reactions import Reaction
 from repro.semantics.interpreter import ABSENT, TICK, SignalInterpreter
 
@@ -141,7 +142,7 @@ class BooleanAbstraction:
             for equation in self.process.equations
             if isinstance(equation, DelayEquation)
         }
-        return tuple((name, registers[name]) for name in self._state_signals)
+        return intern_state(tuple((name, registers[name]) for name in self._state_signals))
 
     def _full_state(self, abstract: State) -> Dict[str, object]:
         """Concrete interpreter state for an abstract state (numeric registers canonical)."""
@@ -154,7 +155,7 @@ class BooleanAbstraction:
         return registers
 
     def _abstract_state(self, concrete: Mapping[str, object]) -> State:
-        return tuple((name, concrete[name]) for name in self._state_signals)
+        return intern_state(tuple((name, concrete[name]) for name in self._state_signals))
 
     # -- reactions --------------------------------------------------------------
     def enumerate_choices(self) -> List[ReactionChoice]:
@@ -197,7 +198,7 @@ class BooleanAbstraction:
         events = {}
         for name, value in reaction.items():
             events[name] = value if name in self._boolean else CANONICAL_NUMERIC_VALUE
-        return Reaction(reaction.domain, events)
+        return Reaction.interned(reaction.domain, events)
 
 
 def build_lts(

@@ -18,6 +18,7 @@ from repro.mocc.behaviors import (
     is_relaxation,
 )
 from repro.mocc.reactions import Reaction, independent, merge_reactions
+from repro.mocc.interning import clear_interned_states, intern_state, interned_state_count
 from repro.mocc.processes import (
     DenotationalProcess,
     synchronous_composition,
@@ -38,6 +39,9 @@ __all__ = [
     "Reaction",
     "independent",
     "merge_reactions",
+    "intern_state",
+    "clear_interned_states",
+    "interned_state_count",
     "DenotationalProcess",
     "synchronous_composition",
     "asynchronous_composition",

@@ -8,11 +8,33 @@ a Signal process is built by concatenating reactions, and weak endochrony
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from repro.mocc.behaviors import Behavior
 from repro.mocc.signals import SignalTrace, Value
 from repro.mocc.tags import Tag
+
+#: canonical sorted-domain tuples, shared across every reaction of a process
+_DOMAIN_CACHE: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+
+#: bound on the module-level intern/cache tables: past this many entries the
+#: table is cleared (interning is an optimization — equality and hashing do
+#: not depend on table persistence, so eviction is always safe)
+INTERN_TABLE_LIMIT = 1 << 20
+
+
+def _canonical_domain(domain: Iterable[str]) -> Tuple[str, ...]:
+    if isinstance(domain, tuple):
+        cached = _DOMAIN_CACHE.get(domain)
+        if cached is not None:
+            return cached
+        canonical = tuple(sorted(set(domain)))
+        if len(_DOMAIN_CACHE) >= INTERN_TABLE_LIMIT:
+            _DOMAIN_CACHE.clear()
+        _DOMAIN_CACHE[domain] = canonical
+        _DOMAIN_CACHE[canonical] = canonical
+        return canonical
+    return _canonical_domain(tuple(domain))
 
 
 class Reaction:
@@ -21,29 +43,71 @@ class Reaction:
     A reaction is *silent* (stuttering) when it assigns no signal at all.
     Unlike :class:`Behavior`, a reaction abstracts the concrete tag: the tag
     is chosen when the reaction is concatenated to a behavior.
+
+    Reactions are immutable, and the model-checking engines handle the same
+    reaction many times (``seen`` sets, product joins, axiom sweeps), so the
+    derived views are precomputed once — :meth:`items`,
+    :meth:`present_signals` and :meth:`absent_signals` return shared
+    immutable objects, the hash is computed at construction time, and
+    equality short-circuits on identity.  :meth:`interned` additionally
+    hash-conses reactions so the hot paths compare pointers.
     """
 
-    __slots__ = ("_domain", "_present")
+    __slots__ = ("_domain", "_present", "_items", "_present_set", "_absent_set", "_hash")
+
+    #: the intern table of :meth:`interned` (content-keyed canonical instances)
+    _interned: Dict[Tuple[Tuple[str, ...], Tuple[Tuple[str, Value], ...]], "Reaction"] = {}
 
     def __init__(self, domain: Iterable[str], present: Optional[Mapping[str, Value]] = None):
-        self._domain: Tuple[str, ...] = tuple(sorted(set(domain)))
+        self._domain: Tuple[str, ...] = _canonical_domain(domain)
         values = dict(present or {})
         unknown = set(values) - set(self._domain)
         if unknown:
             raise ValueError(f"reaction assigns signals outside its domain: {sorted(unknown)}")
         self._present: Dict[str, Value] = values
+        self._items: Tuple[Tuple[str, Value], ...] = tuple(sorted(values.items()))
+        self._present_set: FrozenSet[str] = frozenset(values)
+        self._absent_set: FrozenSet[str] = frozenset(self._domain) - self._present_set
+        self._hash: int = hash((self._domain, self._items))
+
+    @classmethod
+    def interned(
+        cls, domain: Iterable[str], present: Optional[Mapping[str, Value]] = None
+    ) -> "Reaction":
+        """The canonical shared instance of this reaction (hash-consed).
+
+        Equal reactions returned by this constructor are the *same* object,
+        so equality checks in the engines' inner loops are pointer
+        comparisons and hashes are never recomputed.  The table holds at
+        most :data:`INTERN_TABLE_LIMIT` entries (cleared on overflow, so a
+        long-running process is bounded); :meth:`clear_interned` resets it
+        eagerly between unrelated sessions.
+        """
+        candidate = cls(domain, present)
+        key = (candidate._domain, candidate._items)
+        existing = cls._interned.get(key)
+        if existing is not None:
+            return existing
+        if len(cls._interned) >= INTERN_TABLE_LIMIT:
+            cls._interned.clear()
+        cls._interned[key] = candidate
+        return candidate
+
+    @classmethod
+    def clear_interned(cls) -> None:
+        cls._interned.clear()
 
     # -- queries ------------------------------------------------------------
     @property
     def domain(self) -> Tuple[str, ...]:
         return self._domain
 
-    def present_signals(self) -> Set[str]:
-        """The signals that carry an event in this reaction."""
-        return set(self._present)
+    def present_signals(self) -> FrozenSet[str]:
+        """The signals that carry an event in this reaction (shared, immutable)."""
+        return self._present_set
 
-    def absent_signals(self) -> Set[str]:
-        return set(self._domain) - set(self._present)
+    def absent_signals(self) -> FrozenSet[str]:
+        return self._absent_set
 
     def is_silent(self) -> bool:
         """True iff the reaction has no event (a stuttering reaction)."""
@@ -56,18 +120,24 @@ class Reaction:
         return self._present.get(name, default)
 
     def items(self) -> Tuple[Tuple[str, Value], ...]:
-        return tuple(sorted(self._present.items()))
+        return self._items
 
     def __contains__(self, name: str) -> bool:
         return name in self._present
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Reaction):
             return NotImplemented
-        return self._domain == other._domain and self._present == other._present
+        return (
+            self._hash == other._hash
+            and self._domain == other._domain
+            and self._items == other._items
+        )
 
     def __hash__(self) -> int:
-        return hash((self._domain, tuple(sorted(self._present.items()))))
+        return self._hash
 
     def __repr__(self) -> str:
         events = " ".join(f"{name}={value!r}" for name, value in self.items())

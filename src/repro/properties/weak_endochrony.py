@@ -131,7 +131,12 @@ def _axiom_2b_at(checker, state: State) -> Optional[InvariantResult]:
 
 
 def _split_candidates(reaction: Reaction, other: Reaction) -> Optional[Reaction]:
-    """The common sub-reaction of two reactions (same signals with the same values)."""
+    """The common sub-reaction of two reactions (same signals with the same values).
+
+    ``present_signals()`` is a cached frozenset shared by every caller (the
+    axiom sweeps below intersect it O(|enabled|²) times per state), so the
+    set algebra here never re-materializes per-call sets.
+    """
     common = {
         name
         for name in reaction.present_signals() & other.present_signals()

@@ -430,6 +430,25 @@ class _InstantSolver:
                 )
 
 
+#: instrumentation: total reactions solved by any interpreter instance.  The
+#: compiled engine (:mod:`repro.mc.compiled`) promises *zero* interpreter
+#: evaluations on its per-state path; tests pin that promise on this counter.
+EVALUATIONS = 0
+
+
+def evaluation_count() -> int:
+    """Total :meth:`SignalInterpreter.step` invocations since the last reset."""
+    return EVALUATIONS
+
+
+def reset_evaluation_count() -> int:
+    """Reset the global step counter; returns the value it had."""
+    global EVALUATIONS
+    previous = EVALUATIONS
+    EVALUATIONS = 0
+    return previous
+
+
 class SignalInterpreter:
     """Reaction-by-reaction execution of a normalized process."""
 
@@ -468,6 +487,8 @@ class SignalInterpreter:
         activates an internal master clock.  When ``commit`` is false the
         delay registers are left untouched (used for exploration).
         """
+        global EVALUATIONS
+        EVALUATIONS += 1
         solver = _InstantSolver(self.process, self.state)
         for name, value in (inputs or {}).items():
             if name not in solver.presence:

@@ -154,3 +154,80 @@ class TestBoolExpr:
     def test_variables(self):
         expression = And(Var("a"), Or(Var("b"), Not(Var("c"))))
         assert expression.variables() == {"a", "b", "c"}
+
+
+class TestManagerMaintenance:
+    """The PR-3 manager upgrades: GC, reordering, sifting, bounded caches."""
+
+    def test_satisfy_all_is_output_sensitive(self):
+        # one cube over 20 variables: the walk must not expand 2^20 candidates
+        manager = BDDManager([f"v{i}" for i in range(20)])
+        cube = manager.true
+        for index in range(20):
+            variable = manager.var(f"v{index}")
+            cube = cube & (variable if index % 2 else ~variable)
+        solutions = list(cube.satisfy_all([f"v{i}" for i in range(20)]))
+        assert len(solutions) == 1
+        assert solutions[0]["v1"] is True and solutions[0]["v0"] is False
+
+    def test_satisfy_all_requires_support_coverage(self):
+        # same violation, same exception type as count()
+        manager = BDDManager(["a", "b"])
+        function = manager.var("a") & manager.var("b")
+        with pytest.raises(ValueError):
+            list(function.satisfy_all(["a"]))
+
+    def test_collect_garbage_compacts_and_preserves(self):
+        manager = BDDManager(["a", "b", "c"])
+        a, b, c = manager.var("a"), manager.var("b"), manager.var("c")
+        kept = (a & b) | c
+        for _ in range(5):
+            _junk = (a ^ b) & (b ^ c)  # dead intermediate nodes
+        before = manager.size()
+        manager.collect_garbage([kept])
+        assert manager.size() < before
+        assert kept.evaluate({"a": True, "b": True, "c": False})
+        assert not kept.evaluate({"a": True, "b": False, "c": False})
+        assert manager.stats()["gc_runs"] == 1
+
+    def test_reorder_preserves_functions(self):
+        manager = BDDManager(["x0", "y0", "x1", "y1"])
+        function = (manager.var("x0") & manager.var("y0")) | (
+            manager.var("x1") & manager.var("y1")
+        )
+        manager.reorder(["x0", "x1", "y0", "y1"], [function])
+        for bits in range(16):
+            assignment = {
+                "x0": bool(bits & 1),
+                "y0": bool(bits & 2),
+                "x1": bool(bits & 4),
+                "y1": bool(bits & 8),
+            }
+            expected = (assignment["x0"] and assignment["y0"]) or (
+                assignment["x1"] and assignment["y1"]
+            )
+            assert function.evaluate(assignment) == expected
+
+    def test_sift_shrinks_an_interleaving_sensitive_function(self):
+        names = [f"a{i}" for i in range(4)] + [f"b{i}" for i in range(4)]
+        manager = BDDManager(names)
+        function = manager.false
+        for index in range(4):
+            function = function | (manager.var(f"a{index}") & manager.var(f"b{index}"))
+        before = function.node_count()
+        manager.sift([function])
+        after = function.node_count()
+        assert after < before
+        for bits in range(256):
+            assignment = {f"a{i}": bool(bits & (1 << i)) for i in range(4)}
+            assignment.update({f"b{i}": bool(bits & (1 << (4 + i))) for i in range(4)})
+            expected = any(assignment[f"a{i}"] and assignment[f"b{i}"] for i in range(4))
+            assert function.evaluate(assignment) == expected
+
+    def test_computed_table_is_bounded(self):
+        manager = BDDManager([f"v{i}" for i in range(12)], computed_table_limit=64)
+        function = manager.false
+        for index in range(11):
+            function = function | (manager.var(f"v{index}") & manager.var(f"v{index + 1}"))
+        assert manager.stats()["cache_evictions"] > 0
+        assert len(manager._apply_cache) <= 64

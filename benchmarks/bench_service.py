@@ -1,0 +1,189 @@
+"""F-SVC — the serving layer: pay for a design once, serve it forever.
+
+Three cache tiers and one concurrency property, on the `pipeline_8`
+acceptance scenario:
+
+1. *Cold* — a fresh service over an empty artifact store: the query pays
+   analysis + compilation + exploration (and persists everything).
+2. *Warm relation* — a brand-new service process over the same store asked
+   a **new** query: the persisted verdicts miss, but the compiled BDD step
+   relation reloads in linear time, skipping compilation and sifting.
+3. *Warm verdict* — a brand-new service asked a **repeat** query: one small
+   JSON read, no pipeline stage at all.  **The acceptance gate: ≥ 5× faster
+   than the cold compile.**
+4. *Coalescing* — 64 concurrent duplicate queries on a storeless service
+   trigger exactly one underlying computation (the `computations`
+   instrumentation counter), so concurrent duplicate load scales by the
+   price of one.
+
+Run with:  pytest benchmarks/bench_service.py
+(the timing assertions also run in the plain suite; CI uploads the JSON)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+import time
+
+from _record import recorder, timed
+
+from repro.library.generators import pipeline_network
+from repro.service import ArtifactStore, VerificationService
+
+RECORD = recorder("service")
+
+#: the acceptance scenario and its required warm-over-cold advantage
+ACCEPTANCE_SIZE = 8
+ACCEPTANCE_SPEEDUP = 5.0
+#: concurrent duplicate queries for the coalescing scenario
+FAN_OUT = 64
+
+
+def _fresh_service(store_root):
+    """A service with nothing shared in memory with any previous one."""
+    _components, composition = pipeline_network(ACCEPTANCE_SIZE)
+    service = VerificationService(store=ArtifactStore(store_root))
+    digest = service.register([composition], name=composition.name)
+    return service, digest
+
+
+def test_warm_cache_query_is_5x_faster_than_cold_compile():
+    store_root = tempfile.mkdtemp(prefix="repro-bench-service-")
+    try:
+        cold_service, digest = _fresh_service(store_root)
+        cold_verdict, cold_seconds = timed(
+            cold_service.verify_blocking, digest, "non-blocking", method="compiled"
+        )
+        assert cold_verdict["holds"] and cold_verdict["method"] == "compiled"
+        assert cold_service.computations == 1
+        cold_service.close()
+        RECORD.record(
+            f"pipeline_{ACCEPTANCE_SIZE} cold (compile + explore + persist)",
+            seconds=cold_seconds,
+        )
+
+        # tier 2: new service, new query — the compiled relation reloads
+        relation_service, digest = _fresh_service(store_root)
+        relation_verdict, relation_seconds = timed(
+            relation_service.verify_blocking,
+            digest,
+            "non-blocking",
+            method="compiled",
+            max_states=256,
+        )
+        assert relation_verdict["holds"]
+        design = relation_service.registry.get(digest)
+        abstraction = design.context.compiled(design.composition)
+        assert abstraction is not None and abstraction.hierarchy is None, (
+            "the step relation must come from the store, not a recompile"
+        )
+        relation_service.close()
+        RECORD.record(
+            f"pipeline_{ACCEPTANCE_SIZE} warm relation (store hit, new query)",
+            seconds=relation_seconds,
+            cold_seconds=round(cold_seconds, 6),
+            speedup=round(cold_seconds / max(relation_seconds, 1e-9), 2),
+        )
+
+        # tier 3: new service, repeat query — the verdict itself is the artifact
+        warm_service, digest = _fresh_service(store_root)
+        warm_verdict, warm_seconds = timed(
+            warm_service.verify_blocking, digest, "non-blocking", method="compiled"
+        )
+        assert warm_verdict["holds"] == cold_verdict["holds"]
+        assert warm_service.computations == 0, "a store hit must not recompute"
+        assert warm_service.verdict_store_hits == 1
+        warm_service.close()
+        RECORD.record(
+            f"pipeline_{ACCEPTANCE_SIZE} warm verdict (store hit, repeat query)",
+            seconds=warm_seconds,
+            cold_seconds=round(cold_seconds, 6),
+            speedup=round(cold_seconds / max(warm_seconds, 1e-9), 2),
+        )
+        assert warm_seconds * ACCEPTANCE_SPEEDUP < cold_seconds, (
+            f"warm {warm_seconds:.4f}s vs cold {cold_seconds:.4f}s "
+            f"(need ≥{ACCEPTANCE_SPEEDUP:.0f}×)"
+        )
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
+
+def test_64_concurrent_duplicates_cost_one_computation():
+    service = VerificationService()  # storeless: the coalescer does all the work
+    _components, composition = pipeline_network(ACCEPTANCE_SIZE)
+    digest = service.register([composition], name=composition.name)
+
+    # baseline: what one computation of this query costs
+    baseline_service = VerificationService()
+    _c, rebuilt = pipeline_network(ACCEPTANCE_SIZE)
+    baseline_digest = baseline_service.register([rebuilt], name=rebuilt.name)
+    _verdict, single_seconds = timed(
+        baseline_service.verify_blocking,
+        baseline_digest,
+        "weak-endochrony",
+        method="compiled",
+    )
+    baseline_service.close()
+
+    async def fan_out():
+        return await asyncio.gather(
+            *[
+                service.verify(digest, "weak-endochrony", method="compiled")
+                for _ in range(FAN_OUT)
+            ]
+        )
+
+    start = time.perf_counter()
+    results = asyncio.run(fan_out())
+    elapsed = time.perf_counter() - start
+
+    assert len(results) == FAN_OUT
+    assert all(result == results[0] for result in results)
+    assert service.computations == 1, (
+        f"{FAN_OUT} concurrent duplicates ran {service.computations} computations"
+    )
+    assert service.coalesced == FAN_OUT - 1
+    service.close()
+    RECORD.record(
+        f"{FAN_OUT} concurrent duplicate queries (coalesced)",
+        seconds=elapsed,
+        single_query_seconds=round(single_seconds, 6),
+        computations=1,
+        coalesced=FAN_OUT - 1,
+        naive_seconds=round(single_seconds * FAN_OUT, 6),
+    )
+    # the fan-out must not cost anywhere near 64 computations; even one
+    # extra computation would double the time, so 8× headroom is generous
+    assert elapsed < single_seconds * FAN_OUT / 8, (
+        f"{FAN_OUT} coalesced queries took {elapsed:.4f}s vs "
+        f"{single_seconds:.4f}s for one computation"
+    )
+
+
+def test_cached_throughput():
+    """Steady-state: repeat queries served from the LRU cache, per second."""
+    service = VerificationService()
+    _components, composition = pipeline_network(ACCEPTANCE_SIZE)
+    digest = service.register([composition], name=composition.name)
+    service.verify_blocking(digest, "non-blocking", method="compiled")
+
+    queries = 500
+
+    async def pump():
+        for _ in range(queries):
+            await service.verify(digest, "non-blocking", method="compiled")
+
+    start = time.perf_counter()
+    asyncio.run(pump())
+    elapsed = time.perf_counter() - start
+    assert service.computations == 1
+    service.close()
+    RECORD.record(
+        "steady-state cached queries",
+        seconds=elapsed,
+        queries=queries,
+        queries_per_second=round(queries / max(elapsed, 1e-9)),
+    )
+    assert queries / max(elapsed, 1e-9) > 1000, "cached queries should be cheap"

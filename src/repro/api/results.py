@@ -20,10 +20,28 @@ A Verdict is truthy exactly when the property holds, so existing
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+
+def _json_safe(value: object) -> object:
+    """``value`` if it survives ``json.dumps`` unchanged, else its ``repr``.
+
+    Witnesses can be arbitrary checker objects (reaction pairs, states,
+    behaviors); a JSON-able verdict keeps the primitive ones and stringifies
+    the rest, mirroring the pickling sanitization of
+    :mod:`repro.api.parallel`.
+    """
+    if value is None:
+        return None
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
 
 
 @dataclass(frozen=True)
@@ -48,6 +66,24 @@ class Diagnostic:
         status = "holds" if self.holds else "FAILS"
         suffix = f": {self.detail}" if self.detail else ""
         return f"{self.name}: {status}{suffix}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dictionary; non-JSON witnesses become their ``repr``."""
+        return {
+            "name": self.name,
+            "holds": self.holds,
+            "detail": self.detail,
+            "witness": _json_safe(self.witness),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Diagnostic":
+        return cls(
+            name=str(payload["name"]),
+            holds=bool(payload["holds"]),
+            detail=str(payload.get("detail", "")),
+            witness=payload.get("witness"),
+        )
 
 
 @dataclass(frozen=True)
@@ -97,6 +133,28 @@ class Cost:
             parts.append(f"{self.components} components")
         return ", ".join(parts)
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dictionary with every cost field, zeroes included."""
+        return {
+            "seconds": self.seconds,
+            "states": self.states,
+            "transitions": self.transitions,
+            "components": self.components,
+            "state_bound": self.state_bound,
+            "bdd_nodes": self.bdd_nodes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Cost":
+        return cls(
+            seconds=float(payload.get("seconds", 0.0)),
+            states=int(payload.get("states", 0)),
+            transitions=int(payload.get("transitions", 0)),
+            components=int(payload.get("components", 0)),
+            state_bound=int(payload.get("state_bound", 0)),
+            bdd_nodes=int(payload.get("bdd_nodes", 0)),
+        )
+
 
 @dataclass
 class Verdict:
@@ -137,6 +195,37 @@ class Verdict:
         lines = [f"{self.prop} on {self.subject}: {status} [{self.method}, {self.cost}]"]
         lines.extend(f"  {diagnostic}" for diagnostic in self.diagnostics)
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dictionary of the verdict.
+
+        The ``report`` payload (which can hold a whole analysis and its BDD
+        manager) is dropped — exactly as when a verdict crosses a process
+        boundary; everything else round-trips through :meth:`from_dict`.
+        This is the wire format of the verification service.
+        """
+        return {
+            "prop": self.prop,
+            "subject": self.subject,
+            "holds": self.holds,
+            "method": self.method,
+            "diagnostics": [diagnostic.to_dict() for diagnostic in self.diagnostics],
+            "cost": self.cost.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Verdict":
+        return cls(
+            prop=str(payload["prop"]),
+            subject=str(payload["subject"]),
+            holds=bool(payload["holds"]),
+            method=str(payload["method"]),
+            diagnostics=[
+                Diagnostic.from_dict(item) for item in payload.get("diagnostics", ())
+            ],
+            cost=Cost.from_dict(payload.get("cost", {})),
+            report=None,
+        )
 
 
 @contextmanager

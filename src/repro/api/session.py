@@ -64,8 +64,15 @@ class AnalysisContext:
         self,
         registry: Optional[Mapping[str, ProcessDefinition]] = None,
         manager: Optional[BDDManager] = None,
+        artifact_cache: Optional[object] = None,
     ):
         self.manager = manager or BDDManager()
+        #: optional persistence hook (see :class:`repro.service.store.ArtifactStore`):
+        #: an object with ``load_compiled(process) -> (found, abstraction)`` and
+        #: ``store_compiled(process, abstraction)``.  When set, compiled step
+        #: relations are reloaded from storage instead of being recompiled,
+        #: and fresh compilations are persisted for the next session.
+        self.artifact_cache = artifact_cache
         self.registry: Dict[str, ProcessDefinition] = dict(registry or {})
         # id() keys need the keyed objects kept alive, hence the paired dicts.
         self._definitions: Dict[int, ProcessDefinition] = {}
@@ -141,11 +148,32 @@ class AnalysisContext:
             self.hits += 1
             return self._compiled[key]
         self.misses += 1
-        analysis = self.analysis(normalized_process)
-        abstraction = CompiledAbstraction.try_compile(normalized_process, analysis.hierarchy)
+        found, abstraction = self._load_compiled_artifact(normalized_process)
+        if not found:
+            analysis = self.analysis(normalized_process)
+            abstraction = CompiledAbstraction.try_compile(
+                normalized_process, analysis.hierarchy
+            )
+            self._store_compiled_artifact(normalized_process, abstraction)
         self._processes[key] = normalized_process
         self._compiled[key] = abstraction
         return abstraction
+
+    def _load_compiled_artifact(self, process: NormalizedProcess):
+        """``(found, abstraction)`` from the artifact cache; ``(False, None)``
+        when there is no cache or it has nothing for this process.  A found
+        ``None`` is the persisted *negative* answer (process known to be
+        outside the compiled fragment), which skips the recompile attempt —
+        and its hierarchy construction — entirely."""
+        if self.artifact_cache is None:
+            return False, None
+        return self.artifact_cache.load_compiled(process)
+
+    def _store_compiled_artifact(
+        self, process: NormalizedProcess, abstraction: Optional[CompiledAbstraction]
+    ) -> None:
+        if self.artifact_cache is not None:
+            self.artifact_cache.store_compiled(process, abstraction)
 
     def _compile_product_component(self, component, hierarchy=None):
         """Memoized compile for (possibly retyped) product components.
@@ -166,7 +194,12 @@ class AnalysisContext:
             self.hits += 1
             return cached[1]
         self.misses += 1
-        abstraction = CompiledAbstraction.try_compile(component, hierarchy)
+        # retyped components have their own content digest (the canonical
+        # form covers types), so they get their own artifact-store entries
+        found, abstraction = self._load_compiled_artifact(component)
+        if not found:
+            abstraction = CompiledAbstraction.try_compile(component, hierarchy)
+            self._store_compiled_artifact(component, abstraction)
         # keep the component alive so the id() in the key stays valid
         self._compiled_retyped[key] = (component, abstraction)
         return abstraction
@@ -190,13 +223,14 @@ class AnalysisContext:
             self.hits += 1
             return cached
         self.misses += 1
-        analysis = self.analysis(normalized_process)
         if abstraction is not None:
-            lazy = LazyReactionLTS(
-                normalized_process, analysis.hierarchy, abstraction=abstraction
-            )
+            # the compiled relation already encodes the clock structure; the
+            # hierarchy (and the whole ProcessAnalysis) is not needed, which
+            # keeps an artifact-store warm start free of analysis work
+            lazy = LazyReactionLTS(normalized_process, abstraction=abstraction)
             lts = OnTheFlyChecker(lazy, max_states=max_states).materialize()
         else:
+            analysis = self.analysis(normalized_process)
             lts = build_lts(normalized_process, analysis.hierarchy, max_states=max_states)
         self._ltss[key] = lts
         return lts
@@ -231,15 +265,22 @@ class AnalysisContext:
             self.hits += 1
             return cached
         self.misses += 1
-        hierarchies = [self.analysis(c).hierarchy for c in normalized_components]
         if len(normalized_components) == 1:
             abstraction = (
                 self.compiled(normalized_components[0]) if engine == "compiled" else None
             )
+            # a compiled (possibly artifact-store-loaded) relation makes the
+            # hierarchy — and the whole ProcessAnalysis — unnecessary here
+            hierarchy = (
+                None
+                if abstraction is not None
+                else self.analysis(normalized_components[0]).hierarchy
+            )
             lazy = LazyReactionLTS(
-                normalized_components[0], hierarchies[0], abstraction=abstraction
+                normalized_components[0], hierarchy, abstraction=abstraction
             )
         else:
+            hierarchies = [self.analysis(c).hierarchy for c in normalized_components]
             lazy = ProductLTS(
                 normalized_components,
                 hierarchies,
@@ -428,6 +469,21 @@ class Design:
     @property
     def components(self) -> Tuple[NormalizedProcess, ...]:
         return tuple(self._components)
+
+    def digest(self) -> str:
+        """The content digest of this design's components.
+
+        The SHA-256 of the canonical printed source of every component (see
+        :func:`repro.lang.printer.canonical_digest`): stable across sessions
+        and processes, independent of component order and of how the
+        components were constructed.  This is the identity the verification
+        service content-addresses designs, artifacts and verdicts by.
+        """
+        from repro.lang.printer import canonical_digest
+
+        if not self._components:
+            raise ValueError(f"design {self.name!r} has no components")
+        return canonical_digest(self._components)
 
     @property
     def composition(self) -> NormalizedProcess:

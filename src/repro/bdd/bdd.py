@@ -584,6 +584,85 @@ class BDDManager:
         """Decide whether ``antecedent -> consequent`` is a tautology."""
         return antecedent.implies(consequent).is_true()
 
+    # -- serialization -----------------------------------------------------------
+    def dump(self, roots: Sequence[BDD]) -> Dict[str, object]:
+        """A JSON-safe snapshot of the graphs reachable from ``roots``.
+
+        The payload records the variable order and the reachable nodes as
+        ``[level, low, high]`` triples in ascending index order (children
+        always precede parents, the invariant the loader relies on), plus
+        the root indices.  Unreachable nodes are not serialized, so a dump
+        after heavy intermediate computation is as small as a dump after
+        :meth:`collect_garbage`.
+        """
+        marked: Set[int] = {self.FALSE_INDEX, self.TRUE_INDEX}
+        stack = [root.index for root in roots]
+        while stack:
+            index = stack.pop()
+            if index in marked:
+                continue
+            marked.add(index)
+            stack.append(self._lows[index])
+            stack.append(self._highs[index])
+        remap: Dict[int, int] = {self.FALSE_INDEX: 0, self.TRUE_INDEX: 1}
+        nodes: List[List[int]] = []
+        for index in range(2, len(self._levels)):
+            if index not in marked:
+                continue
+            remap[index] = len(nodes) + 2
+            nodes.append(
+                [self._levels[index], remap[self._lows[index]], remap[self._highs[index]]]
+            )
+        return {
+            "variables": list(self._names),
+            "nodes": nodes,
+            "roots": [remap[root.index] for root in roots],
+        }
+
+    @classmethod
+    def load(cls, payload: Mapping[str, object]) -> Tuple["BDDManager", List[BDD]]:
+        """Rebuild a manager and root handles from a :meth:`dump` payload.
+
+        Loading appends the recorded triples directly into the node arrays —
+        linear in the node count, no ``apply`` recursion, no cache traffic —
+        which is what makes a warm artifact-store hit cheap compared to
+        recompiling the relation.  The payload is validated structurally
+        (child indices must precede their parent, levels must name declared
+        variables) so a corrupted artifact fails loudly instead of producing
+        a wrong relation.
+        """
+        manager = cls(payload["variables"])
+        variable_count = len(manager._names)
+        for position, (level, low, high) in enumerate(payload["nodes"]):
+            index = position + 2
+            if not (0 <= level < variable_count) or low >= index or high >= index or low == high:
+                raise ValueError(f"corrupt BDD payload at node {index}: {(level, low, high)}")
+            # ordered-BDD invariant: a node's level strictly precedes its
+            # children's (terminals sit at the sentinel level), and each
+            # (level, low, high) triple is interned exactly once — without
+            # these, restrict/satisfy_all would silently return wrong answers
+            if level >= manager._levels[low] or level >= manager._levels[high]:
+                raise ValueError(
+                    f"corrupt BDD payload at node {index}: level {level} does not "
+                    "precede its children"
+                )
+            if (level, low, high) in manager._unique:
+                raise ValueError(
+                    f"corrupt BDD payload at node {index}: duplicate triple "
+                    f"{(level, low, high)}"
+                )
+            manager._levels.append(level)
+            manager._lows.append(low)
+            manager._highs.append(high)
+            manager._unique[(level, low, high)] = index
+        total = len(manager._levels)
+        roots = []
+        for index in payload["roots"]:
+            if not (0 <= index < total):
+                raise ValueError(f"corrupt BDD payload: root {index} out of range")
+            roots.append(BDD(manager, index))
+        return manager, roots
+
     def equivalent(self, left: BDD, right: BDD) -> bool:
         return left.index == right.index
 

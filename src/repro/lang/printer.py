@@ -4,11 +4,22 @@ The output uses the ASCII rendering of Signal operators (``^`` for clocks,
 ``^*`` / ``^+`` / ``^-`` for clock conjunction / disjunction / difference,
 ``[x]`` and ``[not x]`` for value-sampled clocks) so that printed processes
 can be re-parsed by :mod:`repro.lang.parser`.
+
+Besides the re-parseable rendering, this module defines the **canonical
+form** used to content-address designs (:func:`format_canonical` /
+:func:`canonical_digest`): a deterministic text rendering of a
+:class:`~repro.lang.normalize.NormalizedProcess` with stable signal
+ordering, stable equation ordering and α-renamed locals, so that two
+processes with the same primitive semantics print — and therefore hash — to
+the same bytes regardless of how they were built (source text, builder,
+printed-and-reparsed source).  The digest is what the service layer's
+design registry and artifact store key on.
 """
 
 from __future__ import annotations
 
-from typing import List
+import hashlib
+from typing import Dict, Iterable, List, Optional
 
 from repro.lang.ast import (
     BinaryOp,
@@ -174,3 +185,132 @@ def format_normalized_process(process: NormalizedProcess) -> str:
     ]
     lines.extend(f"    {format_primitive_equation(equation)}" for equation in process.equations)
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Canonical form and content digests
+# ---------------------------------------------------------------------------
+
+def _canonical_local_renaming(process: NormalizedProcess) -> Dict[str, str]:
+    """α-rename hidden locals canonically, independently of input order.
+
+    Normalization invents fresh local names (``_t1``, ...) whose spelling
+    depends on the construction path, and callers may list equations in any
+    order; the renaming must therefore be a function of the process's
+    *content* only.  Each hidden local is characterized by a signature —
+    the sorted renders of the equations it occurs in, with itself marked
+    and every other hidden local replaced by its current equivalence-class
+    rank — and the ranks are refined until stable (Weisfeiler–Leman style
+    partition refinement).  Distinguishable locals end in distinct classes
+    whatever order the equations were listed in; residual ties are broken
+    by original spelling.  Like WL refinement in general this is complete
+    for the occurrence structures arising in practice but not in theory: a
+    pathologically regular reference pattern among hidden locals could
+    leave distinguishable locals tied, letting α-variants digest apart —
+    such designs then merely miss each other's cached artifacts; verdicts
+    are never wrong, because the compiled-payload loader independently
+    rejects signal-name mismatches.
+
+    The canonical names live in a ``\\x00``-prefixed namespace no parsed or
+    built process can occupy, so a renamed local can never collide with —
+    and alias itself to — a real signal of the process.
+    """
+    from repro.lang.normalize import rename_equation
+
+    interface = set(process.inputs) | set(process.outputs)
+    hidden = set(process.locals) - interface
+    if not hidden:
+        return {}
+    rank: Dict[str, int] = {name: 0 for name in hidden}
+    for _round in range(len(hidden) + 2):
+        signatures: Dict[str, List[str]] = {}
+        for name in hidden:
+            marking = {
+                other: ("\x00self" if other == name else f"\x00c{rank[other]}")
+                for other in hidden
+            }
+            signatures[name] = sorted(
+                format_primitive_equation(rename_equation(equation, marking))
+                for equation in process.equations
+                if name in equation.signals()
+            )
+        ordered = sorted(hidden, key=lambda name: (rank[name], signatures[name]))
+        refined: Dict[str, int] = {}
+        previous_key = None
+        next_rank = -1
+        for name in ordered:
+            key = (rank[name], signatures[name])
+            if key != previous_key:
+                next_rank += 1
+                previous_key = key
+            refined[name] = next_rank
+        if refined == rank:
+            break
+        rank = refined
+    # distinct final names per local; classes that refinement could not
+    # split are tie-broken by original spelling (see the docstring caveat)
+    ordered = sorted(hidden, key=lambda name: (rank[name], name))
+    return {name: f"\x00l{position}" for position, name in enumerate(ordered)}
+
+
+def format_canonical(process: NormalizedProcess) -> str:
+    """The canonical, digest-stable rendering of a normalized process.
+
+    Deterministic by construction: the interface is listed in sorted order,
+    hidden locals are α-renamed positionally (order-independently, see
+    :func:`_canonical_local_renaming`), types are listed sorted by signal,
+    and the primitive equations are rendered then sorted as text.  Two
+    processes with the same primitive equations (up to local renaming and
+    equation order) produce the same canonical form, which is what makes
+    content-addressing reproducible across parse ∘ print round trips.
+    """
+    from repro.lang.normalize import rename_equation
+
+    renaming = _canonical_local_renaming(process)
+    equations = (
+        [rename_equation(equation, renaming) for equation in process.equations]
+        if renaming
+        else list(process.equations)
+    )
+    rendered = sorted(format_primitive_equation(equation) for equation in equations)
+    signals = sorted(
+        {renaming.get(name, name) for name in process.all_signals()}
+        | set(process.inputs)
+        | set(process.outputs)
+    )
+    types = {
+        renaming.get(name, name): kind for name, kind in process.types.items()
+    }
+    lines = [
+        f"process {process.name}",
+        f"inputs: {', '.join(sorted(process.inputs))}",
+        f"outputs: {', '.join(sorted(process.outputs))}",
+        "types: " + ", ".join(name + ":" + types.get(name, "any") for name in signals),
+        "equations:",
+    ]
+    lines.extend(f"  {line}" for line in rendered)
+    return "\n".join(lines) + "\n"
+
+
+def canonical_digest(processes: Iterable[NormalizedProcess], extra: Optional[str] = None) -> str:
+    """The SHA-256 content digest of one or more normalized processes.
+
+    The digest covers the concatenated canonical forms (component order is
+    irrelevant: forms are sorted before hashing) plus an optional ``extra``
+    discriminator.  This is the identity the design registry and the
+    artifact store key on: same digest ⇔ same canonical source ⇔ same
+    analyses, same compiled relations, same verdicts.
+    """
+    forms = sorted(format_canonical(process) for process in processes)
+    digest = hashlib.sha256()
+    for form in forms:
+        digest.update(form.encode("utf-8"))
+        digest.update(b"\x00")
+    if extra:
+        digest.update(extra.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def process_digest(process: NormalizedProcess) -> str:
+    """The content digest of a single normalized process."""
+    return canonical_digest([process])

@@ -480,6 +480,94 @@ class CompiledAbstraction:
                 f"missing {sorted(map(repr, missing))[:3]}, extra {sorted(map(repr, extra))[:3]}"
             )
 
+    # -- serialization ------------------------------------------------------------
+    #: payload schema version; bump when the encoding of the relation changes
+    PAYLOAD_FORMAT = 1
+
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-safe snapshot of the compiled engine for the artifact store.
+
+        Records the step relation (via :meth:`BDDManager.dump`, so only the
+        reachable nodes travel), the signal/register metadata the
+        enumeration walk needs, and the content digest of the compiled
+        process — :meth:`from_payload` refuses a payload whose digest does
+        not match the process it is being attached to.
+        """
+        from repro.lang.printer import process_digest
+
+        return {
+            "format": self.PAYLOAD_FORMAT,
+            "process": self.process.name,
+            "digest": process_digest(self.process),
+            "signals": list(self._signals),
+            "boolean": sorted(self._boolean),
+            "registers": list(self._registers),
+            "initial": {
+                name: self._initial_values[name] for name in self._registers
+            },
+            "step": self.manager.dump([self.step]),
+        }
+
+    @classmethod
+    def from_payload(
+        cls,
+        process: NormalizedProcess,
+        payload: Mapping[str, object],
+        hierarchy: Optional[ClockHierarchy] = None,
+    ) -> "CompiledAbstraction":
+        """Reattach a stored step relation to ``process`` without recompiling.
+
+        The reconstruction is linear in the stored node count: no equation
+        compilation, no conjunction schedule, no sifting — which is the
+        whole point of persisting the relation.  Raises ``ValueError`` when
+        the payload's format or content digest does not match.
+        """
+        from repro.lang.printer import process_digest
+
+        if payload.get("format") != cls.PAYLOAD_FORMAT:
+            raise ValueError(
+                f"unsupported compiled-abstraction payload format {payload.get('format')!r}"
+            )
+        digest = process_digest(process)
+        if payload.get("digest") != digest:
+            raise ValueError(
+                f"compiled payload was built for digest {payload.get('digest')!r}, "
+                f"not for {process.name!r} ({digest})"
+            )
+        # α-equivalent processes share a digest but may spell their hidden
+        # locals differently; the stored relation names concrete signals, so
+        # it only fits a process with the *same* spellings — anything else
+        # must recompile (the store treats this ValueError as a miss)
+        if tuple(payload["signals"]) != process.all_signals():
+            raise ValueError(
+                f"compiled payload names signals {payload['signals']!r} but "
+                f"{process.name!r} has {process.all_signals()!r} "
+                "(α-variant of the stored process)"
+            )
+        instance = cls.__new__(cls)
+        instance.process = process
+        instance.hierarchy = hierarchy
+        instance._boolean = set(payload["boolean"])
+        instance._signals = tuple(payload["signals"])
+        instance._registers = tuple(payload["registers"])
+        instance._initial_values = dict(payload["initial"])
+        manager, (step,) = BDDManager.load(payload["step"])
+        instance.manager = manager
+        instance.step = step
+        instance._enumerate_variables = tuple(
+            [event_variable(name) for name in instance._signals]
+            + [
+                value_variable(name)
+                for name in instance._signals
+                if name in instance._boolean
+            ]
+            + [next_variable(register) for register in instance._registers]
+        )
+        instance._oracle = None
+        instance.states_enumerated = 0
+        instance.reactions_enumerated = 0
+        return instance
+
     # -- reporting ----------------------------------------------------------------
     def bdd_nodes(self) -> int:
         """Nodes of the compiled step relation."""

@@ -1,0 +1,56 @@
+"""The serving layer: content-addressed designs, persisted artifacts, one scheduler.
+
+The paper's pipeline (analyze → check weak endochrony / isochrony → compile)
+is fast per query and batchable, but every caller of the :mod:`repro.api`
+facade still pays full recompilation and holds its own caches.  This package
+adds the long-lived layer the ROADMAP's north star asks for:
+
+* :class:`~repro.service.registry.DesignRegistry` — designs are
+  content-addressed by the SHA-256 of their canonical printed source
+  (:func:`repro.lang.printer.canonical_digest`), so two clients submitting
+  the same design — however they built it — hit the same entry;
+* :class:`~repro.service.store.ArtifactStore` — expensive intermediates
+  (compiled BDD step relations, per-process analysis summaries) are
+  persisted on disk under the same digests and reloaded in linear time,
+  across service restarts and across worker processes;
+* :class:`~repro.service.scheduler.VerificationService` — an asyncio
+  request scheduler with request coalescing (identical in-flight
+  ``(digest, prop, method)`` queries share one computation), an LRU verdict
+  cache, and a bounded worker-pool backend (in-process threads or a process
+  pool reusing the :mod:`repro.api.parallel` worker pattern);
+* :class:`~repro.service.client.ServiceClient` and
+  ``python -m repro.service`` — a JSON-lines protocol over a local Unix
+  socket plus the matching CLI (``serve`` / ``submit`` / ``query`` /
+  ``stats`` / ``digest``), also installed as the ``repro-serve`` script.
+
+Quickstart (programmatic, no socket)::
+
+    import asyncio
+    from repro.service import ArtifactStore, VerificationService
+
+    service = VerificationService(store=ArtifactStore("./artifacts"))
+    digest = service.register(source_text)
+    verdict = asyncio.run(service.verify(digest, "non-blocking"))
+    assert verdict["holds"]
+"""
+
+from repro.service.registry import DesignRegistry
+from repro.service.store import ArtifactStore
+from repro.service.scheduler import (
+    InlineBackend,
+    ProcessPoolBackend,
+    VerificationService,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "ArtifactStore",
+    "DesignRegistry",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "VerificationService",
+]

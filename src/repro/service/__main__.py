@@ -1,0 +1,173 @@
+"""``python -m repro.service`` / ``repro-serve`` — the service CLI.
+
+Subcommands::
+
+    serve   --socket PATH [--store DIR] [--backend inline|process]
+            [--workers N] [--cache-size N] [--source FILE ...]
+    submit  --socket PATH --source FILE --prop P [--method M] [--max-states N]
+    query   --socket PATH --digest D    --prop P [--method M] [--max-states N]
+    stats   --socket PATH
+    digest  --source FILE               (offline: print the content digest)
+
+``serve`` runs until interrupted (or until a client sends ``shutdown``);
+``submit`` registers a source file and verifies in one round trip; ``query``
+addresses an already-registered design by digest.  All outputs are JSON on
+stdout, one object per line, so the CLI composes with ``jq`` and scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import (
+    InlineBackend,
+    ProcessPoolBackend,
+    VerificationService,
+)
+from repro.service.server import ServiceServer
+from repro.service.store import ArtifactStore
+
+
+def _emit(payload: object) -> None:
+    json.dump(payload, sys.stdout)
+    sys.stdout.write("\n")
+
+
+def _options(arguments: argparse.Namespace) -> dict:
+    options = {}
+    if arguments.max_states is not None:
+        options["max_states"] = arguments.max_states
+    return options
+
+
+def _serve(arguments: argparse.Namespace) -> int:
+    store = ArtifactStore(arguments.store) if arguments.store else None
+    if arguments.backend == "process":
+        backend = ProcessPoolBackend(
+            workers=arguments.workers,
+            store_root=arguments.store,
+        )
+    else:
+        backend = InlineBackend(workers=arguments.workers)
+    service = VerificationService(
+        store=store, backend=backend, cache_size=arguments.cache_size
+    )
+    for source in arguments.source or []:
+        digest = service.register(Path(source).read_text(encoding="utf-8"))
+        _emit({"registered": source, "digest": digest})
+    server = ServiceServer(service, arguments.socket)
+    _emit({"serving": arguments.socket, "backend": backend.describe()})
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def _submit(arguments: argparse.Namespace) -> int:
+    client = ServiceClient(arguments.socket)
+    source = Path(arguments.source).read_text(encoding="utf-8")
+    digest = client.register(source)
+    verdict = client.verify(
+        digest=digest,
+        prop=arguments.prop,
+        method=arguments.method,
+        **_options(arguments),
+    )
+    _emit(verdict)
+    return 0 if verdict.get("holds") else 1
+
+
+def _query(arguments: argparse.Namespace) -> int:
+    client = ServiceClient(arguments.socket)
+    verdict = client.verify(
+        digest=arguments.digest,
+        prop=arguments.prop,
+        method=arguments.method,
+        **_options(arguments),
+    )
+    _emit(verdict)
+    return 0 if verdict.get("holds") else 1
+
+
+def _stats(arguments: argparse.Namespace) -> int:
+    _emit(ServiceClient(arguments.socket).stats())
+    return 0
+
+
+def _digest(arguments: argparse.Namespace) -> int:
+    from repro.api.session import Design
+
+    design = Design.from_source(Path(arguments.source).read_text(encoding="utf-8"))
+    _emit({"design": design.name, "digest": design.digest()})
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Concurrent verification service over a content-addressed artifact store",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run the service on a Unix socket")
+    serve.add_argument("--socket", required=True, help="Unix socket path to bind")
+    serve.add_argument("--store", help="artifact store directory (omit for in-memory only)")
+    serve.add_argument(
+        "--backend", choices=("inline", "process"), default="inline",
+        help="inline thread pool (shared memos) or process pool (parallel CPU)",
+    )
+    serve.add_argument("--workers", type=int, default=1, help="worker pool size")
+    serve.add_argument("--cache-size", type=int, default=1024, help="LRU verdict cache entries")
+    serve.add_argument(
+        "--source", action="append", help="Signal source file(s) to pre-register"
+    )
+    serve.set_defaults(handler=_serve)
+
+    def _query_arguments(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--socket", required=True)
+        command.add_argument("--prop", required=True, help="property to verify")
+        command.add_argument("--method", default="auto")
+        command.add_argument("--max-states", type=int, default=None)
+
+    submit = commands.add_parser("submit", help="register a source file and verify it")
+    submit.add_argument("--source", required=True, help="Signal source file")
+    _query_arguments(submit)
+    submit.set_defaults(handler=_submit)
+
+    query = commands.add_parser("query", help="verify an already-registered digest")
+    query.add_argument("--digest", required=True)
+    _query_arguments(query)
+    query.set_defaults(handler=_query)
+
+    stats = commands.add_parser("stats", help="print service counters")
+    stats.add_argument("--socket", required=True)
+    stats.set_defaults(handler=_stats)
+
+    digest = commands.add_parser("digest", help="print a source file's content digest")
+    digest.add_argument("--source", required=True)
+    digest.set_defaults(handler=_digest)
+    return parser
+
+
+def main(argv=None) -> int:
+    arguments = build_parser().parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ServiceError as error:
+        _emit({"error": str(error)})
+        return 2
+    except FileNotFoundError as error:
+        _emit({"error": str(error)})
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

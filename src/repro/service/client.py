@@ -1,0 +1,88 @@
+"""A small synchronous client for the service's JSON-lines socket protocol.
+
+Each request opens a fresh connection (the protocol is stateless and local,
+so connection reuse buys nothing worth the bookkeeping), sends one JSON
+line and reads one JSON line back.  Server-side failures surface as
+:class:`ServiceError` with the server's message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``{"ok": false}``."""
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.ServiceServer` over its socket."""
+
+    def __init__(self, socket_path: Union[str, Path], timeout: float = 120.0):
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """One round trip; returns the ``result`` or raises :class:`ServiceError`."""
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as connection:
+            connection.settimeout(self.timeout)
+            connection.connect(self.socket_path)
+            connection.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+            chunks = []
+            while True:
+                chunk = connection.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+        if not chunks:
+            raise ServiceError("connection closed without a response")
+        response = json.loads(b"".join(chunks).decode("utf-8"))
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "unknown server error")))
+        return response.get("result", {})
+
+    # -- operations -----------------------------------------------------------------
+    def ping(self) -> bool:
+        self.request({"op": "ping"})
+        return True
+
+    def register(self, source: str, name: Optional[str] = None) -> str:
+        result = self.request({"op": "register", "source": source, "name": name})
+        return str(result["digest"])
+
+    def verify(
+        self,
+        digest: Optional[str] = None,
+        source: Optional[str] = None,
+        prop: str = "weak-endochrony",
+        method: str = "auto",
+        **options: object,
+    ) -> Dict[str, object]:
+        """A property query by digest or by source; returns the verdict dict."""
+        payload: Dict[str, object] = {
+            "op": "verify",
+            "prop": prop,
+            "method": method,
+            "options": options,
+        }
+        if digest:
+            payload["digest"] = digest
+        elif source:
+            payload["source"] = source
+        else:
+            raise ValueError("verify needs a digest or a source")
+        return self.request(payload)
+
+    def describe(self, digest: str) -> Dict[str, object]:
+        return self.request({"op": "describe", "digest": digest})
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})

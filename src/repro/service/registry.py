@@ -1,0 +1,133 @@
+"""Content-addressed design registry.
+
+Every design the service knows is keyed by the SHA-256 digest of its
+canonical printed source (:func:`repro.lang.printer.canonical_digest`): the
+digest is independent of component order, of generated local names and of
+how the design was constructed (source text, builder, printed-and-reparsed
+source), so two clients submitting "the same" design — byte-identical or
+not — resolve to the same registry entry, share one
+:class:`~repro.api.session.AnalysisContext` worth of memoized analyses, and
+hit the same artifact-store objects.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.api.session import Design, ProcessLike
+
+
+class DesignRegistry:
+    """Digest-keyed designs, deduplicated by canonical content.
+
+    Accepts anything :meth:`register` can turn into a
+    :class:`~repro.api.session.Design`: an existing design, Signal source
+    text, or an iterable of process-like components.  Registration is
+    idempotent — re-registering equivalent content returns the existing
+    digest and keeps the existing session (with all its memoized work).
+
+    Live sessions are memory-heavy (each holds an
+    :class:`~repro.api.session.AnalysisContext` full of memoized analyses
+    and a BDD manager), so the registry keeps at most ``max_designs`` of
+    them with least-recently-used eviction.  An evicted digest raises
+    ``KeyError`` on lookup — clients re-register (cheap: the expensive
+    intermediates live on in the artifact store, so the rebuilt session
+    warm-starts from disk).
+    """
+
+    def __init__(self, max_designs: int = 512) -> None:
+        self.max_designs = max_designs
+        self._designs: "OrderedDict[str, Design]" = OrderedDict()
+        # seen source text -> digest: repeat by-source submissions (the
+        # common client pattern over the socket) skip parse + normalize +
+        # canonical print entirely on the hot path.  Bounded on its own
+        # (textual variants of one design share a digest but not a key,
+        # so this can outgrow the design LRU)
+        self._by_source: "OrderedDict[Tuple[str, Optional[str]], str]" = OrderedDict()
+        self._max_sources = max(4 * max_designs, 16)
+        self.registrations = 0
+        self.deduplicated = 0
+        self.evicted = 0
+
+    def _evict_beyond_bound(self) -> None:
+        while len(self._designs) > self.max_designs:
+            digest, _design = self._designs.popitem(last=False)
+            for key in [k for k, known in self._by_source.items() if known == digest]:
+                del self._by_source[key]
+            self.evicted += 1
+
+    def register(
+        self,
+        design: Union[Design, str, Iterable[ProcessLike]],
+        name: Optional[str] = None,
+    ) -> str:
+        """Add a design (idempotent) and return its content digest."""
+        self.registrations += 1
+        source_key = (design, name) if isinstance(design, str) else None
+        if source_key is not None:
+            known = self._by_source.get(source_key)
+            if known is not None and known in self._designs:
+                self._by_source.move_to_end(source_key)
+                self._designs.move_to_end(known)
+                self.deduplicated += 1
+                return known
+        resolved = self._coerce(design, name)
+        digest = resolved.digest()
+        if digest in self._designs:
+            self._designs.move_to_end(digest)
+            self.deduplicated += 1
+        else:
+            self._designs[digest] = resolved
+            self._evict_beyond_bound()
+        if source_key is not None:
+            self._by_source[source_key] = digest
+            self._by_source.move_to_end(source_key)
+            while len(self._by_source) > self._max_sources:
+                self._by_source.popitem(last=False)
+        return digest
+
+    @staticmethod
+    def _coerce(
+        design: Union[Design, str, Iterable[ProcessLike]], name: Optional[str]
+    ) -> Design:
+        if isinstance(design, Design):
+            return design
+        if isinstance(design, str):
+            return Design.from_source(design, name=name)
+        return Design(name=name or "design", components=list(design))
+
+    def digest_of(
+        self, design: Union[Design, str, Iterable[ProcessLike]], name: Optional[str] = None
+    ) -> str:
+        """The content digest a value *would* register under (no side effect)."""
+        return self._coerce(design, name).digest()
+
+    def get(self, digest: str) -> Design:
+        """The design registered under ``digest`` (KeyError when unknown or
+        evicted — re-register to rebuild the session)."""
+        try:
+            design = self._designs[digest]
+        except KeyError:
+            raise KeyError(f"no design registered under digest {digest!r}") from None
+        self._designs.move_to_end(digest)
+        return design
+
+    def __contains__(self, digest: object) -> bool:
+        return digest in self._designs
+
+    def __len__(self) -> int:
+        return len(self._designs)
+
+    def entries(self) -> List[Tuple[str, Design]]:
+        """``(digest, design)`` pairs in registration order."""
+        return list(self._designs.items())
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "designs": len(self._designs),
+            "max_designs": self.max_designs,
+            "registrations": self.registrations,
+            "deduplicated": self.deduplicated,
+            "evicted": self.evicted,
+        }

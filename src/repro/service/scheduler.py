@@ -1,0 +1,410 @@
+"""The asyncio request scheduler: coalesce, cache, and bound the work.
+
+:class:`VerificationService` multiplexes many concurrent verification
+queries over one registry, one artifact store and one bounded worker pool:
+
+* **request coalescing** — identical in-flight ``(design digest, property,
+  method, options)`` queries share a single underlying computation; 64
+  concurrent submissions of the same query cost exactly one compile/explore
+  (``service.computations`` counts the real work, ``service.coalesced`` the
+  riders);
+* **LRU verdict cache** — completed verdicts (as JSON-safe dictionaries,
+  :meth:`repro.api.results.Verdict.to_dict`) are kept up to ``cache_size``
+  entries with least-recently-used eviction;
+* **bounded backends** — :class:`InlineBackend` runs queries on a small
+  thread pool sharing the registry's memoized sessions (the default: one
+  worker, zero pickling); :class:`ProcessPoolBackend` shards across worker
+  processes, each holding per-digest memoized
+  :class:`~repro.api.session.Design` sessions and its own handle on the
+  shared artifact store — the process-pool worker pattern of
+  :mod:`repro.api.parallel` promoted to a long-lived serving layer.
+
+The scheduler is loop-agnostic: all asyncio state is created lazily inside
+the running loop, so one service instance can serve a socket server, a
+test's ``asyncio.run`` and the CLI alike.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.api.session import Design, ProcessLike
+from repro.service.registry import DesignRegistry
+from repro.service.store import ArtifactStore
+
+#: a fully-normalized query identity: (digest, prop, method, options repr)
+QueryKey = Tuple[str, str, str, str]
+
+
+def _is_digest(value: str) -> bool:
+    if len(value) != 64:
+        return False
+    try:
+        int(value, 16)
+        return True
+    except ValueError:
+        return False
+
+
+class InlineBackend:
+    """Run queries off the event loop, against the shared in-process sessions.
+
+    The queries execute against the registry's shared
+    :class:`~repro.api.session.Design` sessions, so every memo (analyses,
+    compiled relations, engines, verdict caches) is reused across requests
+    with zero serialization.  Those sessions — and the one
+    :class:`~repro.bdd.bdd.BDDManager` behind each — are **not**
+    thread-safe, so verification itself runs under a lock regardless of the
+    pool size: queries leave the event loop free (which is what lets
+    concurrent duplicates pile onto one in-flight computation) but execute
+    one at a time.  For CPU parallelism use :class:`ProcessPoolBackend`;
+    pure-Python BDD work would not parallelize on threads anyway.
+    """
+
+    name = "inline"
+
+    def __init__(self, workers: int = 1):
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service"
+        )
+        self._serialize = threading.Lock()
+
+    def _verify(
+        self, design: Design, prop: str, method: str, options: Dict[str, object]
+    ):
+        with self._serialize:
+            return design.verify(prop, method, **options)
+
+    async def run(
+        self, design: Design, digest: str, prop: str, method: str, options: Dict[str, object]
+    ) -> Dict[str, object]:
+        loop = asyncio.get_running_loop()
+        verdict = await loop.run_in_executor(
+            self._executor, partial(self._verify, design, prop, method, options)
+        )
+        return verdict.to_dict()
+
+    async def run_blocking(self, function):
+        """Run session-touching work off the loop, under the same lock as
+        verification — the shared sessions are not thread-safe."""
+        loop = asyncio.get_running_loop()
+
+        def call():
+            with self._serialize:
+                return function()
+
+        return await loop.run_in_executor(self._executor, call)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def describe(self) -> Dict[str, object]:
+        return {"backend": self.name, "workers": self.workers}
+
+
+# -- process-pool worker state (one per worker process) --------------------------
+_WORKER: Dict[str, object] = {}
+
+
+def _initialize_worker(store_root: Optional[str]) -> None:
+    _WORKER["designs"] = {}
+    _WORKER["store"] = ArtifactStore(store_root) if store_root else None
+
+
+def _worker_query(task) -> Dict[str, object]:
+    """One query in a pool worker: per-digest memoized sessions + shared store."""
+    from repro.api.parallel import sanitize_verdict
+
+    digest, components, name, prop, method, options = task
+    designs: Dict[str, Design] = _WORKER["designs"]  # type: ignore[assignment]
+    design = designs.get(digest)
+    if design is None:
+        design = Design(name=name, components=list(components))
+        design.context.artifact_cache = _WORKER.get("store")
+        designs[digest] = design
+    return sanitize_verdict(design.verify(prop, method, **options)).to_dict()
+
+
+class ProcessPoolBackend:
+    """Shard queries over ``workers`` processes, all reading one artifact store.
+
+    Each worker process builds a design at most once per digest and keeps
+    its own memoized :class:`~repro.api.session.AnalysisContext` (the
+    :mod:`repro.api.parallel` pattern); the shared on-disk artifact store
+    means even a worker seeing a design for the first time starts from the
+    persisted compiled relation instead of recompiling.  Verdicts come back
+    sanitized (reports dropped, unpicklable witnesses stringified), exactly
+    as from ``Design.verify_many(parallel=N)``.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2, store_root: Optional[str] = None):
+        self.workers = workers
+        self.store_root = str(store_root) if store_root else None
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_initialize_worker,
+            initargs=(self.store_root,),
+        )
+        # main-process session work (describe) never runs in the pool, but
+        # concurrent calls still share non-thread-safe sessions
+        self._local_lock = threading.Lock()
+
+    async def run(
+        self, design: Design, digest: str, prop: str, method: str, options: Dict[str, object]
+    ) -> Dict[str, object]:
+        loop = asyncio.get_running_loop()
+        task = (digest, tuple(design.components), design.name, prop, method, options)
+        return await loop.run_in_executor(
+            self._pool, partial(_worker_query, task)
+        )
+
+    async def run_blocking(self, function):
+        """Main-process session work, serialized and off the event loop."""
+        loop = asyncio.get_running_loop()
+
+        def call():
+            with self._local_lock:
+                return function()
+
+        return await loop.run_in_executor(None, call)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "backend": self.name,
+            "workers": self.workers,
+            "store_root": self.store_root,
+        }
+
+
+class VerificationService:
+    """One long-lived verification endpoint over a registry, a store, a pool.
+
+    ``register()`` content-addresses a design; ``verify()`` (a coroutine)
+    answers a property query as a JSON-safe verdict dictionary, going
+    through, in order: the in-memory LRU verdict cache → the in-flight
+    table (request coalescing) → the artifact store's persisted verdicts →
+    the backend worker pool, whose sessions consult the store's compiled
+    relations before compiling anything.  All counters are exposed by
+    :meth:`stats` — ``computations`` is the instrumentation the coalescing
+    and throughput benchmarks assert on.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        registry: Optional[DesignRegistry] = None,
+        backend: Optional[object] = None,
+        cache_size: int = 1024,
+    ):
+        self.registry = registry or DesignRegistry()
+        self.store = store
+        self.backend = backend or InlineBackend()
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[QueryKey, Dict[str, object]]" = OrderedDict()
+        self._inflight: Dict[QueryKey, "asyncio.Task"] = {}
+        #: underlying computations actually run (misses everywhere: LRU,
+        #: in-flight table, verdict store) — the benchmark instrumentation
+        self.computations = 0
+        #: queries that joined an identical in-flight computation
+        self.coalesced = 0
+        self.cache_hits = 0
+        self.verdict_store_hits = 0
+        self.queries = 0
+
+    # -- registration -------------------------------------------------------------
+    def register(
+        self,
+        design: Union[Design, str, Iterable[ProcessLike]],
+        name: Optional[str] = None,
+    ) -> str:
+        """Content-address a design and hook its session to the artifact store."""
+        digest = self.registry.register(design, name=name)
+        entry = self.registry.get(digest)
+        if self.store is not None and entry.context.artifact_cache is None:
+            entry.context.artifact_cache = self.store
+        return digest
+
+    def _resolve(self, target: Union[Design, str, Iterable[ProcessLike]]) -> str:
+        """A digest for ``target``: look it up when it already is one,
+        register it otherwise."""
+        if isinstance(target, str) and _is_digest(target):
+            if target not in self.registry:
+                raise KeyError(f"no design registered under digest {target!r}")
+            return target
+        return self.register(target)
+
+    # -- the query path -----------------------------------------------------------
+    async def verify(
+        self,
+        target: Union[Design, str, Iterable[ProcessLike]],
+        prop: str,
+        method: str = "auto",
+        **options: object,
+    ) -> Dict[str, object]:
+        """One property query; returns a JSON-safe verdict dictionary.
+
+        ``target`` is a registered digest or anything :meth:`register`
+        accepts.  Identical concurrent queries are coalesced onto one
+        computation; completed ones are served from the LRU cache.
+        """
+        from repro.api.backends import canonical_property
+
+        self.queries += 1
+        if isinstance(target, str) and _is_digest(target):
+            digest = self._resolve(target)  # a dict lookup: loop-safe
+        else:
+            # registration parses, normalizes and canonically prints — off
+            # the loop, and serialized with verification (shared sessions)
+            digest = await self.backend.run_blocking(partial(self.register, target))
+        key: QueryKey = (
+            digest,
+            canonical_property(prop),
+            method,
+            repr(sorted(options.items(), key=repr)),
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return copy.deepcopy(cached)
+        task = self._inflight.get(key)
+        if task is None:
+            task = asyncio.ensure_future(self._compute(key, digest, prop, method, options))
+            self._inflight[key] = task
+        else:
+            self.coalesced += 1
+        # shield: one caller's cancellation must not abort the shared work;
+        # deep copy: a caller mutating its verdict must not corrupt the
+        # cached entry every other (and future) caller receives
+        return copy.deepcopy(await asyncio.shield(task))
+
+    async def _stored_verdict(self, key: QueryKey) -> Optional[Dict[str, object]]:
+        """A persisted verdict for this exact query, when the store has one.
+
+        The file read runs in the default executor — disk I/O must not
+        stall the event loop (and needs no session lock)."""
+        if self.store is None:
+            return None
+        digest, prop, method, options_key = key
+        loop = asyncio.get_running_loop()
+        verdict = await loop.run_in_executor(
+            None, partial(self.store.load_verdict, digest, prop, method, options_key)
+        )
+        if verdict is not None:
+            self.verdict_store_hits += 1
+        return verdict
+
+    async def _compute(
+        self,
+        key: QueryKey,
+        digest: str,
+        prop: str,
+        method: str,
+        options: Dict[str, object],
+    ) -> Dict[str, object]:
+        try:
+            verdict = await self._stored_verdict(key)
+            if verdict is None:
+                self.computations += 1
+                design = self.registry.get(digest)
+                verdict = dict(
+                    await self.backend.run(design, digest, prop, method, dict(options))
+                )
+                verdict["digest"] = digest
+                if self.store is not None:
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(
+                        None,
+                        partial(
+                            self.store.store_verdict,
+                            key[0], key[1], key[2], key[3], verdict,
+                        ),
+                    )
+        finally:
+            self._inflight.pop(key, None)
+        self._cache[key] = verdict
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return verdict
+
+    def verify_blocking(
+        self,
+        target: Union[Design, str, Iterable[ProcessLike]],
+        prop: str,
+        method: str = "auto",
+        **options: object,
+    ) -> Dict[str, object]:
+        """Synchronous convenience wrapper: ``asyncio.run(self.verify(...))``."""
+        return asyncio.run(self.verify(target, prop, method, **options))
+
+    # -- analysis artifacts ---------------------------------------------------------
+    async def describe(
+        self, target: Union[Design, str, Iterable[ProcessLike]]
+    ) -> Dict[str, object]:
+        """Per-process analysis summaries of a design, served from the store.
+
+        On the first call the composition and component analyses are
+        computed — through the backend's ``run_blocking``, so the shared
+        sessions are never touched from the event-loop thread nor
+        concurrently with a verification — and persisted under the design
+        digest; later calls, and later service runs over the same store,
+        answer from disk without touching the analysis pipeline.
+        """
+        digest = self._resolve(target)
+        if self.store is not None:
+            stored = self.store.load_analysis(digest)
+            if stored is not None:
+                return stored
+        design = self.registry.get(digest)
+
+        def compute() -> Dict[str, object]:
+            return {
+                "digest": digest,
+                "design": design.name,
+                "composition": design.analysis.summary(),
+                "components": [
+                    analysis.summary() for analysis in design.component_analyses()
+                ],
+            }
+
+        summary = await self.backend.run_blocking(compute)
+        if self.store is not None:
+            self.store.store_analysis(digest, summary)
+        return summary
+
+    def describe_blocking(
+        self, target: Union[Design, str, Iterable[ProcessLike]]
+    ) -> Dict[str, object]:
+        """Synchronous convenience wrapper: ``asyncio.run(self.describe(...))``."""
+        return asyncio.run(self.describe(target))
+
+    # -- lifecycle / reporting -------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "registry": self.registry.stats(),
+            "backend": self.backend.describe(),
+            "store": self.store.stats() if self.store is not None else None,
+            "cache": {"entries": len(self._cache), "limit": self.cache_size},
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "verdict_store_hits": self.verdict_store_hits,
+            "coalesced": self.coalesced,
+            "computations": self.computations,
+            "inflight": len(self._inflight),
+        }
+
+    def close(self) -> None:
+        self.backend.shutdown()

@@ -1,0 +1,161 @@
+"""The JSON-lines socket front of the verification service.
+
+One request per line, one response per line, UTF-8 JSON both ways over a
+local Unix-domain socket.  Operations mirror the programmatic API:
+
+====================  ==========================================================
+``{"op": "ping"}``                     liveness probe → ``{"ok": true}``
+``{"op": "register", "source": ...}``  content-address a design → its digest
+``{"op": "verify", ...}``              a property query (by ``digest`` or
+                                       ``source``) → a JSON verdict; extra
+                                       keys — ``prop``, ``method``,
+                                       ``options`` — as in ``Design.verify``
+``{"op": "describe", "digest": ...}``  per-process analysis summaries
+``{"op": "stats"}``                    registry / store / scheduler counters
+``{"op": "shutdown"}``                 stop serving (used by tests and the CLI)
+====================  ==========================================================
+
+Responses are ``{"ok": true, "result": ...}`` or ``{"ok": false, "error":
+"..."}``; a failing query never takes the server down.  Concurrent client
+connections are served concurrently — the scheduler's coalescing applies
+across connections, which is the whole point of fronting it with a socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.service.scheduler import VerificationService
+
+
+class ServiceServer:
+    """Serve one :class:`VerificationService` over a Unix socket."""
+
+    def __init__(self, service: VerificationService, socket_path: Union[str, Path]):
+        self.service = service
+        self.socket_path = str(socket_path)
+        self.connections = 0
+        self.requests = 0
+        self._stop: Optional["asyncio.Event"] = None
+        self._handlers: set = set()
+
+    # -- request dispatch ----------------------------------------------------------
+    async def _dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
+        op = request.get("op")
+        if op == "ping":
+            return {}
+        if op == "register":
+            digest = self.service.register(
+                str(request["source"]), name=request.get("name")
+            )
+            return {"digest": digest}
+        if op == "verify":
+            target = request.get("digest") or request.get("source")
+            if not target:
+                raise ValueError("verify needs a 'digest' or a 'source'")
+            options = dict(request.get("options") or {})
+            return await self.service.verify(
+                str(target),
+                str(request["prop"]),
+                str(request.get("method", "auto")),
+                **options,
+            )
+        if op == "describe":
+            target = request.get("digest") or request.get("source")
+            if not target:
+                raise ValueError("describe needs a 'digest' or a 'source'")
+            return await self.service.describe(str(target))
+        if op == "stats":
+            stats = self.service.stats()
+            stats["server"] = {
+                "socket": self.socket_path,
+                "connections": self.connections,
+                "requests": self.requests,
+            }
+            return stats
+        if op == "shutdown":
+            if self._stop is not None:
+                self._stop.set()
+            return {"stopping": True}
+        raise ValueError(f"unknown operation {op!r}")
+
+    #: per-request line limit: large pre-registered sources are normal,
+    #: so allow well past asyncio's 64 KiB StreamReader default
+    LINE_LIMIT = 16 * 1024 * 1024
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError) as error:
+                    # an oversized request must get a protocol error, not a
+                    # silently dropped connection; the buffer is no longer
+                    # line-aligned afterwards, so close after responding
+                    writer.write(
+                        json.dumps(
+                            {"ok": False, "error": f"request too large: {error}"}
+                        ).encode("utf-8")
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                self.requests += 1
+                try:
+                    request = json.loads(line.decode("utf-8"))
+                    result = await self._dispatch(request)
+                    response = {"ok": True, "result": result}
+                except Exception as error:  # noqa: BLE001 - protocol boundary
+                    response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        finally:
+            # close without awaiting wait_closed(): on shutdown the loop
+            # cancels pending handlers, and an awaited close here would
+            # surface that cancellation as a spurious error callback
+            writer.close()
+
+    # -- lifecycle ------------------------------------------------------------------
+    async def serve_forever(self, ready: Optional[object] = None) -> None:
+        """Bind the socket and serve until a ``shutdown`` request (or cancel).
+
+        ``ready``, when given, is an object with a ``set()`` method (e.g. a
+        :class:`threading.Event`) signalled once the socket is accepting —
+        how tests and the CLI synchronize with a server thread.
+        """
+        self._stop = asyncio.Event()
+        path = Path(self.socket_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.exists():
+            path.unlink()
+        server = await asyncio.start_unix_server(
+            self._handle, path=self.socket_path, limit=self.LINE_LIMIT
+        )
+        try:
+            if ready is not None:
+                ready.set()
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # let open connections observe EOF and finish on their own — a
+            # handler cancelled by loop teardown logs a spurious error on
+            # some Python versions; only hung connections get cancelled
+            if self._handlers:
+                await asyncio.wait(set(self._handlers), timeout=2)
+            for task in set(self._handlers):
+                task.cancel()
+            try:
+                path.unlink()
+            except OSError:
+                pass

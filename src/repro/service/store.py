@@ -1,0 +1,208 @@
+"""The content-addressed artifact store: pay for compilation once, ever.
+
+Artifacts live on disk under ``<root>/objects/<digest[:2]>/<digest>/<kind>.json``
+— the same layout whether the store is read by the serving process, by a
+process-pool worker, or by a later service run.  Three kinds are stored:
+
+* ``compiled`` — the serialized BDD step relation of a process
+  (:meth:`repro.mc.compiled.CompiledAbstraction.to_payload`), or the
+  persisted *negative* answer (process outside the compiled fragment, with
+  its obstacles) so warm starts skip the recompile attempt entirely;
+* ``analysis`` — per-process analysis summaries of a design (composition
+  and components), served by the service's ``describe`` operation without
+  recomputation;
+* ``verdict-<query>`` — completed verdicts, one object per
+  ``(property, method, options)`` query of a design.  Verification of a
+  content-addressed design is deterministic, so a verdict is itself
+  content-addressable: a restarted service answers repeat queries from
+  disk without running any pipeline stage.
+
+The store doubles as the ``artifact_cache`` hook of
+:class:`~repro.api.session.AnalysisContext` (:meth:`load_compiled` /
+:meth:`store_compiled`), which is how every engine of the session — single
+process, lazy product, retyped product components — transparently reuses
+persisted relations.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent services
+sharing a store directory can race on the same artifact and both end up
+with an intact object; content-addressing makes the race benign (both
+write the same bytes, modulo float jitter in nothing — payloads are pure
+functions of the process).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.lang.normalize import NormalizedProcess
+from repro.lang.printer import process_digest
+from repro.mc.compiled import CompiledAbstraction, compilation_obstacles
+
+
+class ArtifactStore:
+    """A directory of JSON artifacts keyed by ``(content digest, kind)``."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.invalid = 0
+
+    # -- raw object access -------------------------------------------------------
+    def path(self, digest: str, kind: str) -> Path:
+        return self.root / "objects" / digest[:2] / digest / f"{kind}.json"
+
+    def has(self, digest: str, kind: str) -> bool:
+        return self.path(digest, kind).is_file()
+
+    def get(self, digest: str, kind: str) -> Optional[Dict[str, object]]:
+        """The stored payload, or ``None`` on a miss (or an unreadable object)."""
+        path = self.path(digest, kind)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            # a torn or corrupted object is a miss, not a crash; the caller
+            # recomputes and the next put() heals the entry
+            self.invalid += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, digest: str, kind: str, payload: Dict[str, object]) -> Path:
+        """Atomically write one artifact; concurrent writers cannot tear it."""
+        path = self.path(digest, kind)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            prefix=f".{kind}-", suffix=".json", dir=path.parent
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    # -- the AnalysisContext.artifact_cache protocol ------------------------------
+    def load_compiled(
+        self, process: NormalizedProcess
+    ) -> Tuple[bool, Optional[CompiledAbstraction]]:
+        """``(found, abstraction)`` for a process's compiled step relation.
+
+        ``(True, None)`` is the persisted negative answer — the process is
+        known to be outside the compiled fragment and the caller should fall
+        back to the interpreter without attempting compilation.  A payload
+        that fails validation (format bump, digest mismatch after a
+        canonical-form change) is treated as a miss and recompiled.
+        """
+        digest = process_digest(process)
+        payload = self.get(digest, "compiled")
+        if payload is None:
+            return False, None
+        if not payload.get("compilable", True):
+            # negative answers are format-versioned too: a release that
+            # widens the compiled fragment bumps PAYLOAD_FORMAT, and stale
+            # negatives must become misses (and be retried), not pins to
+            # the interpreter path forever
+            if payload.get("format") != CompiledAbstraction.PAYLOAD_FORMAT:
+                self.invalid += 1
+                return False, None
+            return True, None
+        try:
+            return True, CompiledAbstraction.from_payload(
+                process, payload["abstraction"]
+            )
+        except (KeyError, ValueError, TypeError):
+            self.invalid += 1
+            return False, None
+
+    def store_compiled(
+        self, process: NormalizedProcess, abstraction: Optional[CompiledAbstraction]
+    ) -> None:
+        """Persist a compilation result — positive or negative — for reuse."""
+        digest = process_digest(process)
+        if abstraction is None:
+            payload: Dict[str, object] = {
+                "compilable": False,
+                "format": CompiledAbstraction.PAYLOAD_FORMAT,
+                "process": process.name,
+                "obstacles": compilation_obstacles(process),
+            }
+        else:
+            payload = {
+                "compilable": True,
+                "process": process.name,
+                "abstraction": abstraction.to_payload(),
+            }
+        self.put(digest, "compiled", payload)
+
+    # -- analysis summaries --------------------------------------------------------
+    def load_analysis(self, digest: str) -> Optional[Dict[str, object]]:
+        return self.get(digest, "analysis")
+
+    def store_analysis(self, digest: str, summary: Dict[str, object]) -> None:
+        self.put(digest, "analysis", summary)
+
+    # -- persisted verdicts ----------------------------------------------------------
+    # A verification query on a content-addressed design is deterministic:
+    # same digest, same property, same method, same options ⇒ same verdict.
+    # That makes completed verdicts themselves content-addressable artifacts
+    # (filed under the design digest, one object per query), so a restarted
+    # service — or another worker process — answers repeat queries from disk
+    # without touching the pipeline at all.
+    @staticmethod
+    def query_kind(prop: str, method: str, options_key: str) -> str:
+        token = hashlib.sha256(
+            f"{prop}\x00{method}\x00{options_key}".encode("utf-8")
+        ).hexdigest()[:16]
+        return f"verdict-{token}"
+
+    def load_verdict(
+        self, digest: str, prop: str, method: str, options_key: str
+    ) -> Optional[Dict[str, object]]:
+        return self.get(digest, self.query_kind(prop, method, options_key))
+
+    def store_verdict(
+        self,
+        digest: str,
+        prop: str,
+        method: str,
+        options_key: str,
+        verdict: Dict[str, object],
+    ) -> None:
+        self.put(digest, self.query_kind(prop, method, options_key), verdict)
+
+    # -- reporting -----------------------------------------------------------------
+    def object_count(self) -> int:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for path in objects.glob("*/*/*.json"))
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "root": str(self.root),
+            "objects": self.object_count(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalid": self.invalid,
+        }

@@ -1,0 +1,375 @@
+"""The serving layer: registry, artifact store, scheduler, socket protocol.
+
+The acceptance-critical behaviors pinned here:
+
+* 64 concurrent identical queries trigger **exactly one** underlying
+  computation (the scheduler's ``computations`` instrumentation counter);
+* a warm artifact-store start answers without recompiling: persisted
+  verdicts short-circuit the pipeline entirely, persisted step relations
+  short-circuit compilation for fresh queries;
+* content addressing deduplicates designs across construction paths
+  (source text, builder, printed-and-reparsed source);
+* the Unix-socket JSON protocol round-trips register / verify / describe /
+  stats / shutdown, errors included, across threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+
+import pytest
+
+from repro.api.session import Design
+from repro.lang.printer import format_process
+from repro.library.generators import chain_of_buffers, pipeline_network
+from repro.service import (
+    ArtifactStore,
+    DesignRegistry,
+    InlineBackend,
+    ProcessPoolBackend,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    VerificationService,
+)
+
+FILTER_SOURCE = """
+process filter (x) returns (y) {
+  y := x when x;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+def test_registry_deduplicates_across_construction_paths():
+    registry = DesignRegistry()
+    first = registry.register(FILTER_SOURCE)
+    # the same design via print ∘ parse: byte-different source, same content
+    printed = format_process(Design.from_source(FILTER_SOURCE).context.registry["filter"])
+    second = registry.register(printed)
+    assert first == second
+    assert len(registry) == 1
+    assert registry.stats()["deduplicated"] == 1
+    assert registry.get(first).name == "filter"
+    with pytest.raises(KeyError):
+        registry.get("0" * 64)
+
+
+def test_registry_bounds_live_sessions_with_lru_eviction():
+    registry = DesignRegistry(max_designs=2)
+    digests = []
+    for size in (2, 3, 4):
+        _, composition = pipeline_network(size)
+        digests.append(registry.register([composition], name=f"pipeline_{size}"))
+    assert len(registry) == 2
+    assert registry.stats()["evicted"] == 1
+    with pytest.raises(KeyError):
+        registry.get(digests[0])  # the oldest was evicted
+    assert registry.get(digests[2]).name == "pipeline_4"
+    # re-registering the evicted design rebuilds its session
+    _, rebuilt = pipeline_network(2)
+    assert registry.register([rebuilt], name="pipeline_2") == digests[0]
+    assert registry.get(digests[0]).name == "pipeline_2"
+
+
+def test_design_digest_is_stable_across_sessions():
+    _, one = pipeline_network(4)
+    _, two = pipeline_network(4)
+    assert Design.from_process(one).digest() == Design.from_process(two).digest()
+    _, other = pipeline_network(5)
+    assert Design.from_process(one).digest() != Design.from_process(other).digest()
+
+
+# ---------------------------------------------------------------------------
+# the scheduler: coalescing, LRU, counters
+# ---------------------------------------------------------------------------
+
+def test_64_concurrent_identical_queries_compute_once():
+    service = VerificationService()  # no store: nothing else can absorb the work
+    _, composition = pipeline_network(6)
+    digest = service.register([composition], name="pipeline_6")
+
+    async def fan_out():
+        return await asyncio.gather(
+            *[
+                service.verify(digest, "non-blocking", method="compiled")
+                for _ in range(64)
+            ]
+        )
+
+    results = asyncio.run(fan_out())
+    assert len(results) == 64
+    assert all(result == results[0] for result in results)
+    assert results[0]["holds"] is True
+    assert service.computations == 1, "coalescing must share one computation"
+    assert service.coalesced == 63
+    service.close()
+
+
+def test_repeat_queries_hit_the_lru_cache():
+    service = VerificationService()
+    _, composition = pipeline_network(4)
+    digest = service.register([composition])
+    first = service.verify_blocking(digest, "non-blocking", method="compiled")
+    second = service.verify_blocking(digest, "non-blocking", method="compiled")
+    assert first == second
+    assert service.computations == 1
+    assert service.cache_hits == 1
+    service.close()
+
+
+def test_lru_cache_evicts_least_recently_used():
+    service = VerificationService(cache_size=2)
+    _, composition = pipeline_network(4)
+    digest = service.register([composition])
+    service.verify_blocking(digest, "non-blocking", method="compiled")
+    service.verify_blocking(digest, "weak-endochrony", method="compiled")
+    service.verify_blocking(digest, "non-blocking", method="explicit")  # evicts #1
+    assert service.computations == 3
+    service.verify_blocking(digest, "non-blocking", method="compiled")
+    assert service.computations == 4, "evicted entry must be recomputed"
+    service.close()
+
+
+def test_callers_cannot_corrupt_the_cached_verdict():
+    service = VerificationService()
+    digest = service.register(FILTER_SOURCE)
+    first = service.verify_blocking(digest, "non-blocking", method="compiled")
+    first["holds"] = False
+    first["diagnostics"].clear()
+    second = service.verify_blocking(digest, "non-blocking", method="compiled")
+    assert second["holds"] is True
+    assert second["diagnostics"], "cache must hand out copies, not the live entry"
+    assert service.computations == 1
+    service.close()
+
+
+def test_repeat_by_source_submissions_skip_reparsing():
+    service = VerificationService()
+    first = service.register(FILTER_SOURCE)
+    design = service.registry.get(first)
+    assert service.register(FILTER_SOURCE) == first
+    assert service.registry.get(first) is design  # no new Design was built
+    assert service.registry.stats()["deduplicated"] == 1
+    service.close()
+
+
+def test_unknown_digest_and_bad_property_raise():
+    service = VerificationService()
+    with pytest.raises(KeyError):
+        service.verify_blocking("f" * 64, "non-blocking")
+    digest = service.register(FILTER_SOURCE)
+    with pytest.raises(Exception, match="unknown property"):
+        service.verify_blocking(digest, "no-such-property")
+    service.close()
+
+
+def test_failed_queries_are_not_cached():
+    service = VerificationService()
+    digest = service.register(FILTER_SOURCE)
+    with pytest.raises(Exception):
+        # isochrony needs exactly two components: the backend raises
+        service.verify_blocking(digest, "isochrony", method="explicit")
+    assert service.computations == 1
+    verdict = service.verify_blocking(digest, "non-blocking")
+    assert verdict["holds"]
+    service.close()
+
+
+# ---------------------------------------------------------------------------
+# the artifact store: warm starts
+# ---------------------------------------------------------------------------
+
+def test_warm_service_answers_from_persisted_verdicts(tmp_path):
+    _, composition = pipeline_network(6)
+    cold = VerificationService(store=ArtifactStore(tmp_path / "store"))
+    digest = cold.register([composition], name="pipeline_6")
+    cold_verdict = cold.verify_blocking(digest, "non-blocking", method="compiled")
+    assert cold.computations == 1
+    cold.close()
+
+    _, rebuilt = pipeline_network(6)  # fresh objects: nothing shared in memory
+    warm = VerificationService(store=ArtifactStore(tmp_path / "store"))
+    warm_digest = warm.register([rebuilt], name="pipeline_6")
+    assert warm_digest == digest
+    warm_verdict = warm.verify_blocking(warm_digest, "non-blocking", method="compiled")
+    assert warm.computations == 0, "a persisted verdict needs no computation"
+    assert warm.verdict_store_hits == 1
+    assert warm_verdict["holds"] == cold_verdict["holds"]
+    assert warm_verdict["method"] == cold_verdict["method"]
+    warm.close()
+
+
+def test_warm_service_reloads_compiled_relations_for_new_queries(tmp_path):
+    _, composition = pipeline_network(6)
+    cold = VerificationService(store=ArtifactStore(tmp_path / "store"))
+    digest = cold.register([composition], name="pipeline_6")
+    cold.verify_blocking(digest, "non-blocking", method="compiled")
+    cold.close()
+
+    _, rebuilt = pipeline_network(6)
+    warm = VerificationService(store=ArtifactStore(tmp_path / "store"))
+    warm_digest = warm.register([rebuilt], name="pipeline_6")
+    # a *different* query: the verdict misses, but the step relation loads
+    verdict = warm.verify_blocking(
+        warm_digest, "weak-endochrony", method="compiled"
+    )
+    assert verdict["method"] == "compiled"
+    assert warm.computations == 1
+    design = warm.registry.get(warm_digest)
+    abstraction = design.context.compiled(design.composition)
+    assert abstraction is not None
+    # from_payload leaves no hierarchy behind — proof it was loaded, not compiled
+    assert abstraction.hierarchy is None
+    warm.close()
+
+
+def test_store_survives_torn_objects(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put("ab" * 32, "analysis", {"ok": True})
+    path = store.path("ab" * 32, "analysis")
+    path.write_text("{ torn", encoding="utf-8")
+    assert store.get("ab" * 32, "analysis") is None
+    assert store.stats()["invalid"] == 1
+
+
+def test_describe_persists_analysis_summaries(tmp_path):
+    components, _ = chain_of_buffers(2)
+    service = VerificationService(store=ArtifactStore(tmp_path / "store"))
+    digest = service.register(components, name="chain")
+    summary = service.describe_blocking(digest)
+    assert summary["design"] == "chain"
+    assert len(summary["components"]) == 2
+    assert summary["composition"]["process"] == "chain"
+    service.close()
+
+    again = VerificationService(store=ArtifactStore(tmp_path / "store"))
+    rebuilt, _ = chain_of_buffers(2)
+    warm_digest = again.register(rebuilt, name="chain")
+    assert again.describe_blocking(warm_digest) == summary  # served from disk
+    again.close()
+
+
+# ---------------------------------------------------------------------------
+# backends
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="process pool needs more than one core"
+)
+def test_process_pool_backend_agrees_with_inline(tmp_path):
+    _, composition = pipeline_network(4)
+    inline = VerificationService()
+    inline_verdict = inline.verify_blocking(
+        inline.register([composition]), "non-blocking", method="compiled"
+    )
+    inline.close()
+
+    _, rebuilt = pipeline_network(4)
+    pooled = VerificationService(
+        store=ArtifactStore(tmp_path / "store"),
+        backend=ProcessPoolBackend(workers=2, store_root=str(tmp_path / "store")),
+    )
+    digest = pooled.register([rebuilt])
+    pooled_verdict = pooled.verify_blocking(digest, "non-blocking", method="compiled")
+    assert pooled_verdict["holds"] == inline_verdict["holds"]
+    assert pooled_verdict["method"] == inline_verdict["method"]
+    # the worker populated the shared store with the compiled relation
+    assert pooled.store.stats()["objects"] >= 1
+    pooled.close()
+
+
+def test_inline_backend_bounds_its_pool():
+    backend = InlineBackend(workers=2)
+    assert backend.describe() == {"backend": "inline", "workers": 2}
+    backend.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# the socket protocol
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def running_server(tmp_path):
+    socket_path = tmp_path / "service.sock"
+    service = VerificationService(store=ArtifactStore(tmp_path / "store"))
+    server = ServiceServer(service, socket_path)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.serve_forever(ready)), daemon=True
+    )
+    thread.start()
+    assert ready.wait(10), "server did not come up"
+    client = ServiceClient(socket_path)
+    yield client, service
+    try:
+        client.shutdown()
+    except (ServiceError, OSError):
+        pass
+    thread.join(10)
+    assert not thread.is_alive()
+
+
+def test_socket_protocol_round_trip(running_server):
+    client, service = running_server
+    assert client.ping()
+    digest = client.register(FILTER_SOURCE)
+    assert digest == service.registry.digest_of(FILTER_SOURCE)
+    verdict = client.verify(digest=digest, prop="non-blocking", method="compiled")
+    assert verdict["holds"] is True
+    assert verdict["digest"] == digest
+    # by-source verification coalesces onto the same design
+    verdict_by_source = client.verify(source=FILTER_SOURCE, prop="non-blocking", method="compiled")
+    assert verdict_by_source["holds"] is True
+    description = client.describe(digest)
+    assert description["design"] == "filter"
+    stats = client.stats()
+    assert stats["registry"]["designs"] == 1
+    assert stats["server"]["requests"] >= 5
+    assert json.dumps(stats)  # the whole stats payload is JSON-safe
+
+
+def test_socket_protocol_reports_errors_without_dying(running_server):
+    client, _service = running_server
+    with pytest.raises(ServiceError, match="unknown operation"):
+        client.request({"op": "frobnicate"})
+    with pytest.raises(ServiceError, match="unknown property"):
+        client.verify(source=FILTER_SOURCE, prop="no-such-property")
+    assert client.ping()  # still alive
+
+
+def test_socket_accepts_large_sources_and_rejects_oversized_lines(running_server):
+    client, _service = running_server
+    # well past asyncio's 64 KiB default line limit, below the server's own
+    padded = FILTER_SOURCE + " " * 200_000
+    digest = client.register(padded)
+    assert len(digest) == 64
+    # beyond the server's limit: an explicit refusal (the server may close
+    # the connection mid-send, surfacing as OSError on some platforms),
+    # never a hung or silently-dropped request — and the server survives
+    from repro.service.server import ServiceServer
+
+    with pytest.raises((ServiceError, OSError)):
+        client.request({"op": "ping", "padding": "x" * (ServiceServer.LINE_LIMIT + 1024)})
+    assert client.ping()
+
+
+# ---------------------------------------------------------------------------
+# the CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_digest_is_offline(tmp_path, capsys):
+    from repro.service.__main__ import main
+
+    source = tmp_path / "filter.sig"
+    source.write_text(FILTER_SOURCE, encoding="utf-8")
+    assert main(["digest", "--source", str(source)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["design"] == "filter"
+    assert len(payload["digest"]) == 64

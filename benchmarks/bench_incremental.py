@@ -1,0 +1,153 @@
+"""F-INC — incremental re-verification over the artifact graph.
+
+The scenario the digest-keyed refactor exists for: a compositional
+verification sweep over an 8-stage pipeline (per-component weak-endochrony
+and non-blocking on the compiled and interpreter engines, plus the static
+weakly-hierarchic criterion), three ways:
+
+1. *Cold* — fresh session, empty artifact store: every stage computes (and
+   persists — diagnoses, compiled relations, obligations, verdicts).
+2. *Edited warm* — one stage of the pipeline is replaced, then the sweep
+   re-runs in a fresh session over the warm store.  The 7 untouched stages
+   answer from persisted artifacts; only the edited stage's pipeline and
+   the composition-level obligations recompute — O(changed component), not
+   O(design).  **The acceptance gate: ≥ 5× faster than cold.**
+3. *Warm repeat* — the edited sweep again, fresh session, same store: every
+   query is one JSON read.
+
+Each stage is an 8-bit boolean shift register (2^8 reachable states — real
+per-component model-checking work), chained `s_i → s_{i+1}` so consecutive
+stages share a signal: a genuine pipeline, weakly hierarchic by the
+criterion.  The per-stage computation counters are asserted alongside the
+wall-clock gates, so the benchmark cannot pass by accident.
+
+Run with:  pytest benchmarks/bench_incremental.py
+(the assertions also run in CI's `bench-incremental` job; the JSON records
+are uploaded as `BENCH_incremental.json`)
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from _record import recorder
+
+from repro.api.session import Design
+from repro.lang.builder import ProcessBuilder, signal
+from repro.lang.normalize import normalize
+from repro.service.store import ArtifactStore
+
+RECORD = recorder("incremental")
+
+#: the acceptance scenario and its required edited-warm-over-cold advantage
+STAGES = 8
+BITS = 9
+ACCEPTANCE_SPEEDUP = 5.0
+#: exploration bound covering the 2^BITS reachable states of one stage
+MAX_STATES = 1024
+#: the stage the "edit" replaces
+EDIT_INDEX = 4
+
+
+def _stage(index: int, flavor: str = "plain"):
+    """One pipeline stage: an 8-bit shift register from ``s_i`` to ``s_{i+1}``."""
+    source, target = f"s{index}", f"s{index + 1}"
+    builder = ProcessBuilder(f"stage{index}", inputs=[source], outputs=[target])
+    previous = source
+    for bit in range(BITS):
+        register = f"r{index}_{bit}"
+        builder.local(register)
+        builder.define(register, signal(previous).pre(False))
+        previous = register
+    out = signal(previous) if flavor != "negated" else signal(previous).not_()
+    builder.define(target, out)
+    return normalize(builder.build())
+
+
+def _session(store_root, edited: bool = False) -> Design:
+    """A fresh session (nothing shared in memory) over the given store."""
+    design = Design(
+        name=f"pipeline_{STAGES}",
+        components=[_stage(index) for index in range(STAGES)],
+    )
+    design.context.artifact_cache = ArtifactStore(store_root)
+    if edited:
+        design.replace_component(EDIT_INDEX, _stage(EDIT_INDEX, "negated"))
+    return design
+
+
+def _full_verify(design: Design):
+    """The compositional sweep: per-component obligations + the criterion."""
+    verdicts = design.map_components(
+        "weak-endochrony", method="compiled", max_states=MAX_STATES
+    )
+    verdicts += design.map_components(
+        "non-blocking", method="compiled", max_states=MAX_STATES
+    )
+    verdicts += design.map_components(
+        "weak-endochrony", method="explicit", max_states=MAX_STATES
+    )
+    verdicts.append(design.verify("weakly-hierarchic"))
+    return verdicts
+
+
+def _timed_sweep(design: Design):
+    start = time.perf_counter()
+    verdicts = _full_verify(design)
+    elapsed = time.perf_counter() - start
+    assert all(verdict.holds for verdict in verdicts)
+    return elapsed
+
+
+def test_edit_one_stage_reverify_is_5x_faster_warm_than_cold():
+    store_root = tempfile.mkdtemp(prefix="repro-bench-incremental-")
+    try:
+        cold = _session(store_root)
+        cold_seconds = _timed_sweep(cold)
+        cold_stages = cold.stats()["stages"]
+        assert cold_stages["diagnosis"]["computed"] == STAGES
+        RECORD.record(
+            f"pipeline_{STAGES} cold sweep (analyze + compile + explore + persist)",
+            seconds=cold_seconds,
+            queries=3 * STAGES + 1,
+        )
+
+        # one-component edit, fresh session, warm store
+        edited = _session(store_root, edited=True)
+        edited_seconds = _timed_sweep(edited)
+        stages = edited.stats()["stages"]
+        # O(changed component): one diagnosis recomputed, the others read
+        # back; analyses only for the edited stage and the new composition
+        assert stages["diagnosis"]["computed"] == 1
+        assert stages["diagnosis"]["store_hits"] == STAGES - 1
+        assert stages["analysis"]["computed"] == 2
+        assert stages["obligations"]["computed"] == 1
+        RECORD.record(
+            f"pipeline_{STAGES} edited warm sweep (1 stage replaced)",
+            seconds=edited_seconds,
+            cold_seconds=round(cold_seconds, 6),
+            speedup=round(cold_seconds / max(edited_seconds, 1e-9), 2),
+            recomputed_diagnoses=stages["diagnosis"]["computed"],
+        )
+        assert edited_seconds * ACCEPTANCE_SPEEDUP < cold_seconds, (
+            f"edited warm {edited_seconds:.4f}s vs cold {cold_seconds:.4f}s "
+            f"(need ≥{ACCEPTANCE_SPEEDUP:.0f}×)"
+        )
+
+        # repeat of the edited sweep: every verdict is one JSON read
+        repeat = _session(store_root, edited=True)
+        repeat_seconds = _timed_sweep(repeat)
+        repeat_stages = repeat.stats()["stages"]
+        assert repeat_stages["verdict"]["store_hits"] == 3 * STAGES + 1
+        assert "analysis" not in repeat_stages, "no pipeline stage may run"
+        RECORD.record(
+            f"pipeline_{STAGES} warm repeat of the edited sweep",
+            seconds=repeat_seconds,
+            cold_seconds=round(cold_seconds, 6),
+            speedup=round(cold_seconds / max(repeat_seconds, 1e-9), 2),
+        )
+        assert repeat_seconds * 25 < cold_seconds
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)

@@ -12,6 +12,9 @@ One entry point for the paper's whole pipeline::
 * :mod:`repro.api.session` — the :class:`Design` session object and the
   :class:`AnalysisContext` that memoizes normalization, analyses and one
   shared BDD manager across components and repeated queries;
+* :mod:`repro.api.artifacts` — the digest-keyed :class:`ArtifactGraph`
+  every pipeline stage of a context resolves through (memory tier + the
+  service's artifact store as persistent tier);
 * :mod:`repro.api.results` — the uniform :class:`Verdict` / :class:`Diagnostic`
   result model;
 * :mod:`repro.api.backends` — dispatch between the static criterion and the
@@ -33,6 +36,7 @@ _EXPORTS = {
     "Design": "repro.api.session",
     "AnalysisContext": "repro.api.session",
     "analyze": "repro.api.session",
+    "ArtifactGraph": "repro.api.artifacts",
     "Verdict": "repro.api.results",
     "Diagnostic": "repro.api.results",
     "Cost": "repro.api.results",
@@ -62,6 +66,7 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
         LttaDeployment,
         SequentialDeployment,
     )
+    from repro.api.artifacts import ArtifactGraph
     from repro.api.results import Cost, Diagnostic, Verdict
     from repro.api.session import AnalysisContext, Design, analyze
 

@@ -324,10 +324,11 @@ def verify(design: "Design", prop: str, method: str = "auto", **options) -> Verd
             # stops at the first violating reaction.  The engine serves
             # per-component reactions from compiled step relations by
             # default; ``method="explicit"`` opts out to the interpreter.
+            # No composition analysis is passed — the explicit axioms never
+            # consult it, so a warm-store query stays free of analysis work.
             checker = _engine(design, max_states, engine)
             verdict = verify_weak_endochrony(
                 design.composition,
-                analysis=design.analysis,
                 checker=checker,
                 method="explicit",
                 max_states=max_states,

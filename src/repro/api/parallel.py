@@ -57,10 +57,17 @@ def sanitize_verdict(verdict: Verdict) -> Verdict:
     )
 
 
-def _initialize_worker(components, name: str) -> None:
+def _initialize_worker(components, name: str, store_root: Optional[str] = None) -> None:
     from repro.api.session import Design
 
     design = Design(name=name, components=list(components))
+    if store_root:
+        # the parent session's artifact store, re-opened in this worker: the
+        # worker warm-starts from persisted relations/diagnoses/verdicts and
+        # persists what it computes for every later session and worker
+        from repro.service.store import ArtifactStore
+
+        design.context.artifact_cache = ArtifactStore(store_root)
     _WORKER["design"] = design
     _WORKER["subdesigns"] = {}
 
@@ -87,17 +94,21 @@ def run_queries(
     name: str,
     tasks: Sequence[QueryTask],
     parallel: int,
+    store_root: Optional[str] = None,
 ) -> List[Verdict]:
     """Run the query tasks over a pool of ``parallel`` worker processes.
 
     Results come back in task order.  The pool is created per call: the
     dominant cost of a batch worth parallelizing is the queries themselves,
     and a fresh pool keeps worker state coupled to the design it was
-    initialized with.
+    initialized with.  ``store_root``, when the parent session has an
+    on-disk artifact store, points every worker at the same store, so the
+    cross-worker overlap the per-worker memos cannot capture is served from
+    persisted artifacts instead.
     """
     with ProcessPoolExecutor(
         max_workers=parallel,
         initializer=_initialize_worker,
-        initargs=(tuple(components), name),
+        initargs=(tuple(components), name, store_root),
     ) as pool:
         return list(pool.map(_run_query, tasks))

@@ -24,18 +24,37 @@ component); both accept ``parallel=N`` to shard the independent queries
 over a process pool (see :mod:`repro.api.parallel`).  Model-checking
 queries run on the on-the-fly engine of :mod:`repro.mc.onthefly`, served
 and memoized by :meth:`AnalysisContext.onthefly`.
+
+Since the artifact-graph refactor, every stage of the pipeline resolves
+through one :class:`~repro.api.artifacts.ArtifactGraph` keyed by content
+digests, with the :class:`~repro.service.store.ArtifactStore` as optional
+persistent tier: warm stores accelerate every stage, and component edits
+(:meth:`Design.replace_component`) invalidate only the digests that
+actually changed.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.api.artifacts import ArtifactGraph, verdict_kind
 from repro.bdd.bdd import BDDManager
 from repro.lang.ast import Composition, Instantiation, ProcessDefinition, Restriction, Statement
 from repro.lang.builder import ProcessBuilder
 from repro.lang.normalize import NormalizedProcess, normalize
 from repro.lang.parser import parse_program
-from repro.mc.compiled import CompiledAbstraction
+from repro.lang.printer import (
+    digest_of_forms,
+    format_canonical,
+    options_fingerprint,
+    process_digest,
+    process_fingerprint,
+)
+from repro.mc.compiled import (
+    CompiledAbstraction,
+    compiled_artifact_payload,
+    compiled_from_artifact,
+)
 from repro.mc.onthefly import LazyReactionLTS, OnTheFlyChecker, ProductLTS
 from repro.mc.transition import ReactionLTS, build_lts
 from repro.properties.compilable import ProcessAnalysis
@@ -46,18 +65,24 @@ ProcessLike = Union[ProcessDefinition, NormalizedProcess, ProcessBuilder, str]
 
 
 class AnalysisContext:
-    """Shared memo of normalizations, analyses, LTSs and one BDD manager.
+    """Shared pipeline stages over one :class:`~repro.api.artifacts.ArtifactGraph`.
 
     All queries issued through the same context — by one :class:`Design` or by
-    several designs sharing the context — reuse each other's work:
+    several designs sharing the context — reuse each other's work: every
+    pipeline product (normalization, :class:`ProcessAnalysis`, clock
+    hierarchy, compiled step relation, explored LTSs, on-the-fly engines) is
+    a node of the context's artifact graph, keyed by the process's content
+    digest, with dependency edges recorded between stages.  Attaching an
+    artifact store (:attr:`artifact_cache`) makes the persistent stages —
+    compiled relations, per-component diagnoses, composition obligations,
+    verdicts — reload across sessions and processes, so a warm store
+    accelerates *every* stage, not just compilation.
 
-    * ``normalized()`` caches the expansion of a :class:`ProcessDefinition`
-      into primitive equations (keyed by definition identity);
-    * ``analysis()`` caches the :class:`ProcessAnalysis` of a normalized
-      process, all built over the *same* :class:`BDDManager`, so clock BDDs
-      are hash-consed across components and across repeated queries;
-    * ``lts()`` caches the explored reaction LTS used by the explicit and
-      symbolic model-checking backends.
+    The memory tier additionally keys name-carrying artifacts by an exact
+    (α-sensitive) fingerprint: two processes that differ only in hidden
+    local spellings share a content digest but must not share analyses or
+    relations that name concrete signals (see
+    :func:`repro.lang.printer.process_fingerprint`).
     """
 
     def __init__(
@@ -67,27 +92,41 @@ class AnalysisContext:
         artifact_cache: Optional[object] = None,
     ):
         self.manager = manager or BDDManager()
-        #: optional persistence hook (see :class:`repro.service.store.ArtifactStore`):
-        #: an object with ``load_compiled(process) -> (found, abstraction)`` and
-        #: ``store_compiled(process, abstraction)``.  When set, compiled step
-        #: relations are reloaded from storage instead of being recompiled,
-        #: and fresh compilations are persisted for the next session.
-        self.artifact_cache = artifact_cache
+        #: the artifact graph every stage of this context resolves through
+        self.graph = ArtifactGraph(store=artifact_cache)
         self.registry: Dict[str, ProcessDefinition] = dict(registry or {})
         # id() keys need the keyed objects kept alive, hence the paired dicts.
-        self._definitions: Dict[int, ProcessDefinition] = {}
-        self._normalized: Dict[int, NormalizedProcess] = {}
         self._processes: Dict[int, NormalizedProcess] = {}
-        self._analyses: Dict[int, ProcessAnalysis] = {}
-        self._ltss: Dict[Tuple[int, int, str], ReactionLTS] = {}
-        self._engines: Dict[Tuple, OnTheFlyChecker] = {}
-        self._compiled: Dict[int, Optional[CompiledAbstraction]] = {}
+        self._digests: Dict[int, str] = {}
+        self._fingerprints: Dict[int, str] = {}
+        self._canonical_forms: Dict[int, str] = {}
         # product components are retyped under the composition's unified
-        # types, so their compilations are memoized by (equation tuple
-        # identity, effective types) — stable across product constructions
-        self._compiled_retyped: Dict[Tuple, Tuple[NormalizedProcess, Optional[CompiledAbstraction]]] = {}
-        self.hits = 0
-        self.misses = 0
+        # types and re-created per product construction; (equation tuple
+        # identity, effective types) picks one stable representative
+        self._retyped: Dict[Tuple, NormalizedProcess] = {}
+        # digest -> number of live designs addressing it (see retain_digest)
+        self._digest_refs: Dict[str, int] = {}
+
+    @property
+    def artifact_cache(self) -> Optional[object]:
+        """The persistent tier of the artifact graph (an
+        :class:`~repro.service.store.ArtifactStore` or anything with
+        ``get(digest, kind)`` / ``put(digest, kind, payload)``)."""
+        return self.graph.store
+
+    @artifact_cache.setter
+    def artifact_cache(self, store: Optional[object]) -> None:
+        self.graph.store = store
+
+    @property
+    def hits(self) -> int:
+        """Memory-tier hits across all stages (historical counter name)."""
+        return self.graph.hits
+
+    @property
+    def misses(self) -> int:
+        """Artifacts actually computed across all stages (historical name)."""
+        return self.graph.computed
 
     # -- registry ---------------------------------------------------------------
     def register(
@@ -99,110 +138,180 @@ class AnalysisContext:
         else:
             self.registry.update(definitions)
 
+    # -- content identities -------------------------------------------------------
+    def digest_of(self, process: ProcessLike) -> str:
+        """The α-invariant content digest of a process, memoized by identity."""
+        normalized_process = self.normalized(process)
+        key = id(normalized_process)
+        digest = self._digests.get(key)
+        if digest is None:
+            digest = process_digest(normalized_process)
+            self._processes[key] = normalized_process
+            self._digests[key] = digest
+        return digest
+
+    def fingerprint_of(self, process: ProcessLike) -> str:
+        """The exact (α-sensitive) fingerprint of a process, memoized by identity."""
+        normalized_process = self.normalized(process)
+        key = id(normalized_process)
+        fingerprint = self._fingerprints.get(key)
+        if fingerprint is None:
+            fingerprint = process_fingerprint(normalized_process)
+            self._processes[key] = normalized_process
+            self._fingerprints[key] = fingerprint
+        return fingerprint
+
+    def canonical_form_of(self, process: ProcessLike) -> str:
+        """The canonical printed form of a process, memoized by identity."""
+        normalized_process = self.normalized(process)
+        key = id(normalized_process)
+        form = self._canonical_forms.get(key)
+        if form is None:
+            form = format_canonical(normalized_process)
+            self._processes[key] = normalized_process
+            self._canonical_forms[key] = form
+        return form
+
+    def design_digest(
+        self, components: Sequence[ProcessLike], extra: Optional[str] = None
+    ) -> str:
+        """The content digest of a set of components.
+
+        Identical to :func:`repro.lang.printer.canonical_digest` over the
+        same components (the identity registries and stores key on) — both
+        hash through :func:`repro.lang.printer.digest_of_forms` — but built
+        from the per-component canonical forms this context has already
+        memoized.
+        """
+        return digest_of_forms(
+            (self.canonical_form_of(component) for component in components), extra
+        )
+
+    # -- digest liveness across the context's designs -----------------------------
+    def retain_digest(self, digest: str) -> None:
+        """Record that a live design addresses artifacts of ``digest``."""
+        self._digest_refs[digest] = self._digest_refs.get(digest, 0) + 1
+
+    def release_digest(self, digest: str) -> int:
+        """Drop one reference; returns how many live references remain.
+
+        Invalidation is gated on this: a context shared by several designs
+        (the documented ``context=`` pattern) must not drop artifacts one
+        design stopped using while another still addresses them.
+        """
+        remaining = self._digest_refs.get(digest, 0) - 1
+        if remaining <= 0:
+            self._digest_refs.pop(digest, None)
+            return 0
+        self._digest_refs[digest] = remaining
+        return remaining
+
     # -- memoized pipeline stages -----------------------------------------------
     def normalized(self, process: ProcessLike) -> NormalizedProcess:
-        """The normalized form of any process-like value, memoized."""
+        """The normalized form of any process-like value, memoized.
+
+        Normalization is the stage that *produces* content digests, so its
+        node is keyed by definition identity (kept alive through the
+        graph), not by digest — it resolves through the graph like every
+        other stage, so its counters and dependency edges are recorded
+        uniformly.
+        """
         if isinstance(process, NormalizedProcess):
             return process
         if isinstance(process, str):
             return self.normalized(self._definition_from_source(process))
         if isinstance(process, ProcessBuilder):
             process = process.build()
-        key = id(process)
-        cached = self._normalized.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        result = normalize(process, self.registry or None)
-        self._definitions[key] = process
-        self._normalized[key] = result
-        return result
+        definition = process
+        return self.graph.resolve(
+            "normalize",
+            f"definition:{id(definition)}",
+            compute=lambda: normalize(definition, self.registry or None),
+            keep=(definition,),
+        )
 
     def analysis(self, process: ProcessLike) -> ProcessAnalysis:
         """The :class:`ProcessAnalysis` of a process, memoized on this context."""
         normalized_process = self.normalized(process)
-        key = id(normalized_process)
-        cached = self._analyses.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        analysis = ProcessAnalysis(normalized_process, manager=self.manager)
-        self._processes[key] = normalized_process
-        self._analyses[key] = analysis
-        return analysis
+        return self.graph.resolve(
+            "analysis",
+            self.digest_of(normalized_process),
+            self.fingerprint_of(normalized_process),
+            compute=lambda: ProcessAnalysis(normalized_process, manager=self.manager),
+            keep=(normalized_process,),
+        )
+
+    def hierarchy(self, process: ProcessLike):
+        """The clock hierarchy of a process — an artifact node of its own, so
+        hierarchy-only consumers (variable-order seeding, lazy engines) are
+        tracked and reused independently of the full analysis."""
+        normalized_process = self.normalized(process)
+        return self.graph.resolve(
+            "hierarchy",
+            self.digest_of(normalized_process),
+            self.fingerprint_of(normalized_process),
+            compute=lambda: self.analysis(normalized_process).hierarchy,
+            keep=(normalized_process,),
+        )
 
     def compiled(self, process: ProcessLike) -> Optional[CompiledAbstraction]:
         """The compiled step relation of a process, memoized on this context.
 
         Returns ``None`` when the process falls outside the boolean-definable
         fragment of :mod:`repro.mc.compiled` (the engines then fall back to
-        the interpreter-backed enumeration).  The abstraction owns a private
-        BDD manager — its variable order is seeded from the process's clock
-        hierarchy and may be resifted, which a shared manager cannot allow.
+        the interpreter-backed enumeration); the negative answer is itself
+        persisted so warm starts skip the recompile attempt.  The
+        abstraction owns a private BDD manager — its variable order is
+        seeded from the process's clock hierarchy and may be resifted,
+        which a shared manager cannot allow.
         """
         normalized_process = self.normalized(process)
-        key = id(normalized_process)
-        if key in self._compiled:
-            self.hits += 1
-            return self._compiled[key]
-        self.misses += 1
-        found, abstraction = self._load_compiled_artifact(normalized_process)
-        if not found:
-            analysis = self.analysis(normalized_process)
-            abstraction = CompiledAbstraction.try_compile(
-                normalized_process, analysis.hierarchy
+        return self._compiled_node(normalized_process, hierarchy_from_analysis=True)
+
+    def _compiled_node(
+        self,
+        normalized_process: NormalizedProcess,
+        hierarchy=None,
+        hierarchy_from_analysis: bool = False,
+    ) -> Optional[CompiledAbstraction]:
+        def compute() -> Optional[CompiledAbstraction]:
+            seed = (
+                self.hierarchy(normalized_process)
+                if hierarchy_from_analysis
+                else hierarchy
             )
-            self._store_compiled_artifact(normalized_process, abstraction)
-        self._processes[key] = normalized_process
-        self._compiled[key] = abstraction
-        return abstraction
+            return CompiledAbstraction.try_compile(normalized_process, seed)
 
-    def _load_compiled_artifact(self, process: NormalizedProcess):
-        """``(found, abstraction)`` from the artifact cache; ``(False, None)``
-        when there is no cache or it has nothing for this process.  A found
-        ``None`` is the persisted *negative* answer (process known to be
-        outside the compiled fragment), which skips the recompile attempt —
-        and its hierarchy construction — entirely."""
-        if self.artifact_cache is None:
-            return False, None
-        return self.artifact_cache.load_compiled(process)
-
-    def _store_compiled_artifact(
-        self, process: NormalizedProcess, abstraction: Optional[CompiledAbstraction]
-    ) -> None:
-        if self.artifact_cache is not None:
-            self.artifact_cache.store_compiled(process, abstraction)
+        return self.graph.resolve(
+            "compiled",
+            self.digest_of(normalized_process),
+            self.fingerprint_of(normalized_process),
+            kind="compiled",
+            compute=compute,
+            encode=lambda value: compiled_artifact_payload(normalized_process, value),
+            decode=lambda payload: compiled_from_artifact(normalized_process, payload),
+            keep=(normalized_process,),
+        )
 
     def _compile_product_component(self, component, hierarchy=None):
         """Memoized compile for (possibly retyped) product components.
 
         :class:`~repro.mc.onthefly.ProductLTS` re-creates its retyped
-        component objects per construction, so the id-keyed
-        :meth:`compiled` memo would always miss; the equations tuple is
-        shared with the original process, making (equations identity,
-        effective types) a stable key across product instances.
-        """
+        component objects per construction; the equations tuple is shared
+        with the original process, making (equations identity, effective
+        types) a stable key for one *representative* object whose digest
+        then addresses the artifact node (retyped components have their own
+        content digest — the canonical form covers types)."""
         key = (
             id(component.equations),
             tuple(component.inputs),
             tuple(sorted(component.types.items())),
         )
-        cached = self._compiled_retyped.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached[1]
-        self.misses += 1
-        # retyped components have their own content digest (the canonical
-        # form covers types), so they get their own artifact-store entries
-        found, abstraction = self._load_compiled_artifact(component)
-        if not found:
-            abstraction = CompiledAbstraction.try_compile(component, hierarchy)
-            self._store_compiled_artifact(component, abstraction)
-        # keep the component alive so the id() in the key stays valid
-        self._compiled_retyped[key] = (component, abstraction)
-        return abstraction
+        representative = self._retyped.get(key)
+        if representative is None:
+            # keep the component alive so the id() in the key stays valid
+            self._retyped[key] = representative = component
+        return self._compiled_node(representative, hierarchy=hierarchy)
 
     def lts(
         self, process: ProcessLike, max_states: int = 512, engine: str = "compiled"
@@ -217,23 +326,33 @@ class AnalysisContext:
         normalized_process = self.normalized(process)
         abstraction = self.compiled(normalized_process) if engine == "compiled" else None
         effective = "compiled" if abstraction is not None else "interpreter"
-        key = (id(normalized_process), max_states, effective)
-        cached = self._ltss.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        if abstraction is not None:
-            # the compiled relation already encodes the clock structure; the
-            # hierarchy (and the whole ProcessAnalysis) is not needed, which
-            # keeps an artifact-store warm start free of analysis work
-            lazy = LazyReactionLTS(normalized_process, abstraction=abstraction)
-            lts = OnTheFlyChecker(lazy, max_states=max_states).materialize()
-        else:
-            analysis = self.analysis(normalized_process)
-            lts = build_lts(normalized_process, analysis.hierarchy, max_states=max_states)
-        self._ltss[key] = lts
-        return lts
+
+        def compute() -> ReactionLTS:
+            if abstraction is not None:
+                # the compiled relation already encodes the clock structure;
+                # the hierarchy (and the whole ProcessAnalysis) is not
+                # needed, which keeps an artifact-store warm start free of
+                # analysis work — re-resolving the node records the edge
+                self.compiled(normalized_process)
+                lazy = LazyReactionLTS(normalized_process, abstraction=abstraction)
+                return OnTheFlyChecker(lazy, max_states=max_states).materialize()
+            return build_lts(
+                normalized_process,
+                self.hierarchy(normalized_process),
+                max_states=max_states,
+            )
+
+        fingerprint = (
+            f"{self.fingerprint_of(normalized_process)}"
+            f"|max_states={max_states}|engine={effective}"
+        )
+        return self.graph.resolve(
+            "lts",
+            self.digest_of(normalized_process),
+            fingerprint,
+            compute=compute,
+            keep=(normalized_process,),
+        )
 
     def onthefly(
         self,
@@ -255,43 +374,53 @@ class AnalysisContext:
         (the default) enumerates admissible reactions from each component's
         compiled step relation, transparently falling back per component to
         the interpreter-backed abstraction outside the compiled fragment;
-        ``"interpreter"`` opts out of compilation entirely.
+        ``"interpreter"`` opts out of compilation entirely.  Component
+        hierarchies are resolved lazily — a product whose components all
+        reload compiled relations from the store builds no
+        :class:`ProcessAnalysis` at all.
         """
         normalized_components = [self.normalized(component) for component in components]
         types_key = tuple(sorted(types.items())) if types is not None else None
-        key = (tuple(id(c) for c in normalized_components), max_states, name, types_key, engine)
-        cached = self._engines.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        if len(normalized_components) == 1:
-            abstraction = (
-                self.compiled(normalized_components[0]) if engine == "compiled" else None
-            )
-            # a compiled (possibly artifact-store-loaded) relation makes the
-            # hierarchy — and the whole ProcessAnalysis — unnecessary here
-            hierarchy = (
-                None
-                if abstraction is not None
-                else self.analysis(normalized_components[0]).hierarchy
-            )
-            lazy = LazyReactionLTS(
-                normalized_components[0], hierarchy, abstraction=abstraction
-            )
-        else:
-            hierarchies = [self.analysis(c).hierarchy for c in normalized_components]
-            lazy = ProductLTS(
-                normalized_components,
-                hierarchies,
-                name=name,
-                types=types,
-                engine=engine,
-                compile_component=self._compile_product_component,
-            )
-        engine_checker = OnTheFlyChecker(lazy, max_states=max_states)
-        self._engines[key] = engine_checker
-        return engine_checker
+
+        def compute() -> OnTheFlyChecker:
+            if len(normalized_components) == 1:
+                abstraction = (
+                    self.compiled(normalized_components[0])
+                    if engine == "compiled"
+                    else None
+                )
+                # a compiled (possibly store-loaded) relation makes the
+                # hierarchy — and the whole ProcessAnalysis — unnecessary
+                hierarchy = (
+                    None
+                    if abstraction is not None
+                    else self.hierarchy(normalized_components[0])
+                )
+                lazy = LazyReactionLTS(
+                    normalized_components[0], hierarchy, abstraction=abstraction
+                )
+            else:
+                lazy = ProductLTS(
+                    normalized_components,
+                    name=name,
+                    types=types,
+                    engine=engine,
+                    compile_component=self._compile_product_component,
+                    hierarchy_for=self.hierarchy,
+                )
+            return OnTheFlyChecker(lazy, max_states=max_states)
+
+        fingerprint = "|".join(
+            [self.fingerprint_of(component) for component in normalized_components]
+            + [f"max_states={max_states}", f"name={name}", f"types={types_key}", engine]
+        )
+        return self.graph.resolve(
+            "engine",
+            self.design_digest(normalized_components),
+            fingerprint,
+            compute=compute,
+            keep=tuple(normalized_components),
+        )
 
     def _definition_from_source(self, source: str) -> ProcessDefinition:
         definitions = parse_program(source)
@@ -305,16 +434,29 @@ class AnalysisContext:
             )
         return roots[0]
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
+        """Aggregate and per-stage counters (historical keys preserved)."""
+        graph_stats = self.graph.stats()
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "analyses": len(self._analyses),
-            "ltss": len(self._ltss),
-            "engines": len(self._engines),
-            "compiled": sum(1 for a in self._compiled.values() if a is not None),
+            "hits": self.graph.hits,
+            "misses": self.graph.computed,
+            "store_hits": self.graph.store_hits,
+            "analyses": len(self.graph.nodes("analysis")),
+            "ltss": len(self.graph.nodes("lts")),
+            "engines": len(self.graph.nodes("engine")),
+            "compiled": sum(
+                1 for _key, value in self.graph.nodes("compiled") if value is not None
+            ),
             "bdd_variables": len(self.manager.variables()),
+            "stages": graph_stats["stages"],
+            "nodes": graph_stats["nodes"],
         }
+
+    def store_root(self) -> Optional[str]:
+        """The directory of the attached artifact store, when it has one —
+        how worker processes re-open the same store."""
+        root = getattr(self.graph.store, "root", None)
+        return str(root) if root is not None else None
 
 
 def _instantiated_names(statement: Statement) -> Iterable[str]:
@@ -385,15 +527,26 @@ class Design:
             self.context.register(registry)
         self._components: List[NormalizedProcess] = []
         self._composition: Optional[NormalizedProcess] = None
+        self._custom_composition = False
         self._criterion: Optional[CompositionVerdict] = None
-        self._verdicts: Dict[Tuple[str, str, str], object] = {}
+        self._digest: Optional[str] = None
+        #: digests this design holds live references to on the context (its
+        #: current design digest and composition digest); superseded values
+        #: are released — and invalidated once no design addresses them
+        self._retained_digest: Optional[str] = None
+        self._retained_composition_digest: Optional[str] = None
         self._component_designs: Dict[int, "Design"] = {}
         for component in components:
             self.add_component(component)
         if composition is not None:
             # A pre-built composition (e.g. from a generator) used as-is; it is
-            # discarded if the component list changes afterwards.
+            # discarded if the component list changes afterwards.  It is part
+            # of the design's identity: a custom composition can differ
+            # semantically from the plain compose of the components, so the
+            # design digest mixes it in (see :meth:`digest`).
             self._composition = self.context.normalized(composition)
+            self._custom_composition = True
+            self._track_composition(self._composition)
 
     # -- constructors ------------------------------------------------------------
     @classmethod
@@ -445,8 +598,9 @@ class Design:
         return design
 
     # -- composition -------------------------------------------------------------
-    def add_component(self, process: ProcessLike, name: Optional[str] = None) -> "Design":
-        """Add a component (chainable); invalidates composed artefacts only."""
+    def _coerce_component(
+        self, process: ProcessLike, name: Optional[str] = None
+    ) -> NormalizedProcess:
         if isinstance(process, ProcessDefinition):
             self.context.register(process)
         component = self.context.normalized(process)
@@ -459,11 +613,100 @@ class Design:
                 equations=component.equations,
                 types=dict(component.types),
             )
-        self._components.append(component)
-        self._composition = None
-        self._criterion = None
-        self._verdicts.clear()
+        return component
+
+    def _release_and_maybe_invalidate(self, digest: str) -> None:
+        if self.context.release_digest(digest) == 0:
+            self.context.graph.invalidate(digest)
+
+    def _track_composition(self, composed: NormalizedProcess) -> None:
+        """Retain the (re)built composition's digest; supersede the old one.
+
+        Releasing the previous composition digest — and invalidating it once
+        no design addresses it — is what keeps repeated edits from
+        accumulating stale composed analyses in the memory tier.
+        """
+        digest = self.context.digest_of(composed)
+        if digest == self._retained_composition_digest:
+            return
+        previous = self._retained_composition_digest
+        self.context.retain_digest(digest)
+        self._retained_composition_digest = digest
+        if previous is not None:
+            self._release_and_maybe_invalidate(previous)
+
+    def _release_tracked(self) -> None:
+        """Give up every digest reference this design holds (cached
+        sub-designs release through here when the parent discards them)."""
+        for component in self._components:
+            self._release_and_maybe_invalidate(self.context.digest_of(component))
+        for digest in (self._retained_digest, self._retained_composition_digest):
+            if digest is not None:
+                self._release_and_maybe_invalidate(digest)
+        self._retained_digest = None
+        self._retained_composition_digest = None
+
+    def _invalidate_composed(self, changed: Optional[NormalizedProcess] = None) -> None:
+        """Reset design-level caches after a component change.
+
+        Artifact nodes are keyed by content digest, so an edit invalidates
+        by construction — untouched components keep addressing their
+        existing artifacts, and composition-level nodes simply move to the
+        new design digest.  Digest liveness is reference-counted on the
+        context, so sessions sharing one context never lose each other's
+        warm artifacts: when ``changed`` names a replaced/removed component
+        whose digest no live design addresses anymore, its in-memory
+        artifacts and everything that depended on them (old design
+        verdicts, product engines) are dropped, dependency-tracked, from
+        the graph.  The old design digest and old composition digest are
+        superseded lazily — at the next :meth:`digest` computation and the
+        next composition rebuild — which is where their stale obligations,
+        engines and composed analyses get dropped.
+        """
+        for sub_design in self._component_designs.values():
+            sub_design._release_tracked()
         self._component_designs.clear()
+        self._composition = None
+        self._custom_composition = False
+        self._criterion = None
+        self._digest = None
+        if changed is not None:
+            self._release_and_maybe_invalidate(self.context.digest_of(changed))
+
+    def add_component(self, process: ProcessLike, name: Optional[str] = None) -> "Design":
+        """Add a component (chainable); invalidates composed artefacts only."""
+        component = self._coerce_component(process, name)
+        self._components.append(component)
+        self.context.retain_digest(self.context.digest_of(component))
+        self._invalidate_composed()
+        return self
+
+    def replace_component(
+        self, index: int, process: ProcessLike, name: Optional[str] = None
+    ) -> "Design":
+        """Replace component ``index`` (chainable) — the incremental edit.
+
+        Only the digest that actually changed is invalidated: artifacts of
+        every untouched component stay addressed (and warm), while the old
+        component's in-memory artifacts and their dependents are dropped —
+        unless another design on the same context still uses the old
+        digest.  Re-verifying after a one-component edit therefore
+        recomputes the changed component's stages and the composition-level
+        obligations, nothing else — pinned by the stage counters in
+        ``tests/test_incremental.py``.
+        """
+        old = self._components[index]
+        component = self._coerce_component(process, name)
+        self._components[index] = component
+        self.context.retain_digest(self.context.digest_of(component))
+        self._invalidate_composed(changed=old)
+        return self
+
+    def remove_component(self, index: int) -> "Design":
+        """Remove component ``index`` (chainable); same invalidation contract
+        as :meth:`replace_component`."""
+        old = self._components.pop(index)
+        self._invalidate_composed(changed=old)
         return self
 
     @property
@@ -477,13 +720,29 @@ class Design:
         :func:`repro.lang.printer.canonical_digest`): stable across sessions
         and processes, independent of component order and of how the
         components were constructed.  This is the identity the verification
-        service content-addresses designs, artifacts and verdicts by.
+        service content-addresses designs, artifacts and verdicts by, and
+        the key every composition-level artifact node of this design lives
+        under.  A design constructed with an explicit ``composition=`` (one
+        that may differ semantically from the plain compose of the
+        components) mixes that composition's content into the digest, so
+        its verdicts never collide with the default-composition design's.
         """
-        from repro.lang.printer import canonical_digest
-
         if not self._components:
             raise ValueError(f"design {self.name!r} has no components")
-        return canonical_digest(self._components)
+        if self._digest is None:
+            extra = None
+            if self._custom_composition and self._composition is not None:
+                extra = "composition:" + self.context.digest_of(self._composition)
+            self._digest = self.context.design_digest(self._components, extra=extra)
+            if self._digest != self._retained_digest:
+                previous = self._retained_digest
+                self.context.retain_digest(self._digest)
+                self._retained_digest = self._digest
+                if previous is not None:
+                    # the pre-edit design digest: drop its verdicts,
+                    # obligations and engines once no design addresses it
+                    self._release_and_maybe_invalidate(previous)
+        return self._digest
 
     @property
     def composition(self) -> NormalizedProcess:
@@ -504,6 +763,7 @@ class Design:
                     types=dict(composed.types),
                 )
             self._composition = composed
+            self._track_composition(composed)
         return self._composition
 
     @property
@@ -530,20 +790,29 @@ class Design:
         Theorem 1), ``"explicit"`` (reaction LTS exploration), ``"symbolic"``
         (the invariant formulation of Section 4.1 with BDD reachability) or
         ``"auto"`` — prefer the static criterion, fall back to model checking
-        when the criterion does not apply.  Verdicts are cached per
-        ``(prop, method, options)``.
+        when the criterion does not apply.
+
+        Verdicts are artifact nodes keyed by ``(design digest, prop, method,
+        options)``: repeated queries return the same object from the memory
+        tier, and with an artifact store attached a verification query of a
+        content-addressed design is deterministic, so completed verdicts
+        reload across sessions (reloaded verdicts carry no ``report`` — the
+        same sanitization as crossing a process boundary).
         """
         from repro.api.backends import canonical_property, verify as dispatch
+        from repro.api.results import Verdict
 
         prop = canonical_property(prop)
-        key = (prop, method, repr(sorted(options.items(), key=repr)))
-        cached = self._verdicts.get(key)
-        if cached is not None:
-            self.context.hits += 1
-            return cached
-        verdict = dispatch(self, prop, method, **options)
-        self._verdicts[key] = verdict
-        return verdict
+        options_key = options_fingerprint(options)
+        return self.context.graph.resolve(
+            "verdict",
+            self.digest(),
+            f"{prop}|{method}|{options_key}",
+            kind=verdict_kind(prop, method, options_key),
+            compute=lambda: dispatch(self, prop, method, **options),
+            encode=lambda verdict: verdict.to_dict(),
+            decode=Verdict.from_dict,
+        )
 
     @staticmethod
     def _query_spec(spec, default_method: str, common: Mapping[str, object]):
@@ -590,7 +859,10 @@ class Design:
         from repro.api.parallel import run_queries
 
         tasks = [(None, prop, m, options) for prop, m, options in specs]
-        return run_queries(self._components, self.name, tasks, parallel)
+        return run_queries(
+            self._components, self.name, tasks, parallel,
+            store_root=self.context.store_root(),
+        )
 
     def component_design(self, index: int) -> "Design":
         """A cached single-component design over component ``index``, sharing
@@ -621,7 +893,10 @@ class Design:
         from repro.api.parallel import run_queries
 
         tasks = [(index, prop, method, dict(options)) for index in indices]
-        return run_queries(self._components, self.name, tasks, parallel)
+        return run_queries(
+            self._components, self.name, tasks, parallel,
+            store_root=self.context.store_root(),
+        )
 
     def compile(self, strategy: str = "sequential", **options):
         """Deploy the design; returns a :class:`~repro.api.deploy.Deployment`.
@@ -636,6 +911,32 @@ class Design:
         return build_deployment(self, strategy, **options)
 
     # -- reporting ----------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Per-stage artifact-graph counters of this design's context.
+
+        ``stages`` maps each pipeline stage (``normalize``, ``analysis``,
+        ``hierarchy``, ``compiled``, ``lts``, ``engine``, ``diagnosis``,
+        ``obligations``, ``verdict``) to its ``hits`` / ``store_hits`` /
+        ``computed`` / ``stored`` / ``invalid`` / ``invalidated`` counters —
+        the instrumentation behind the incremental-reverification claims.
+        JSON-safe throughout.
+        """
+        graph_stats = self.context.graph.stats()
+        store = self.context.graph.store
+        store_stats = getattr(store, "stats", None)
+        return {
+            "design": self.name,
+            "components": len(self._components),
+            "digest": self.digest() if self._components else None,
+            "stages": graph_stats["stages"],
+            "nodes": graph_stats["nodes"],
+            "edges": graph_stats["edges"],
+            "hits": graph_stats["hits"],
+            "store_hits": graph_stats["store_hits"],
+            "computed": graph_stats["computed"],
+            "store": store_stats() if callable(store_stats) else None,
+        }
+
     def summary(self) -> Dict[str, object]:
         """Composition summary plus per-component endochrony, uniform with reports."""
         summary = self.analysis.summary()

@@ -67,7 +67,8 @@ class ClockAlgebra:
             self.manager.declare(presence_variable(name))
             if name in self._boolean_signals:
                 self.manager.declare(value_variable(name))
-        self._relation_bdd = self._compile_relations()
+        self._relation_bdd: Optional[BDD] = None
+        self._factors = self._compile_relations()
 
     # -- encoding --------------------------------------------------------------
     def encode(self, expression: ClockExpressionSyntax) -> BDD:
@@ -95,25 +96,109 @@ class ClockAlgebra:
                 return left & ~right
         raise TypeError(f"unsupported clock expression: {expression!r}")
 
-    def _compile_relations(self) -> BDD:
-        constraint = self.manager.true
+    def _compile_relations(self) -> List[BDD]:
+        """Compile the clock relations into variable-disjoint *factors*.
+
+        The relation of a composed process is a conjunction whose conjuncts
+        touch variable sets that barely overlap — in the limit of
+        independent components, not at all.  Grouping the conjuncts into
+        connected components by shared variables (union-find) turns ``R``
+        into ``F_1 ∧ ... ∧ F_m`` with pairwise-disjoint supports, the
+        algebraic shadow of the paper's compositional structure.  Every
+        entailment query then consults only the factors its clocks touch:
+        for variable-disjoint ``R = G ∧ H`` with ``vars(H) ∩ vars(c) = ∅``,
+        ``R ⊨ c`` iff ``R`` is unsatisfiable or ``G ⊨ c`` — so the analyses
+        of an N-component composition stop paying for the other N−1
+        components on every BDD query.
+        """
+        factors: List[BDD] = []
+        factor_of: Dict[str, int] = {}
         for relation in self.relations.clock_relations:
-            constraint = constraint & self.encode(relation.left).iff(self.encode(relation.right))
-        return constraint
+            conjunct = self.encode(relation.left).iff(self.encode(relation.right))
+            support = conjunct.support()
+            touched = sorted({factor_of[v] for v in support if v in factor_of})
+            merged = conjunct
+            for position in touched:
+                merged = merged & factors[position]
+                factors[position] = None  # type: ignore[call-overload]
+            factors.append(merged)
+            target = len(factors) - 1
+            for variable, position in list(factor_of.items()):
+                if position in touched:
+                    factor_of[variable] = target
+            for variable in support:
+                factor_of[variable] = target
+        kept: List[BDD] = []
+        renumber: Dict[int, int] = {}
+        for position, factor in enumerate(factors):
+            if factor is not None:
+                renumber[position] = len(kept)
+                kept.append(factor)
+        self._factor_of = {
+            variable: renumber[position] for variable, position in factor_of.items()
+        }
+        self._combined: Dict[frozenset, BDD] = {}
+        self._unsatisfiable = any(not factor.is_satisfiable() for factor in kept)
+        return kept
 
     @property
     def relation_bdd(self) -> BDD:
-        """The BDD of the conjunction of all clock relations."""
+        """The BDD of the conjunction of all clock relations (built lazily —
+        the entailment queries work factor-wise and rarely need it)."""
+        if self._relation_bdd is None:
+            conjunction = self.manager.true
+            for factor in self._factors:
+                conjunction = conjunction & factor
+            self._relation_bdd = conjunction
         return self._relation_bdd
+
+    def _relevant_relation(self, support: Iterable[str]) -> BDD:
+        """The conjunction of the factors whose variables ``support`` touches."""
+        positions = frozenset(
+            self._factor_of[variable]
+            for variable in support
+            if variable in self._factor_of
+        )
+        if not positions:
+            return self.manager.true
+        if len(positions) == 1:
+            return self._factors[next(iter(positions))]
+        cached = self._combined.get(positions)
+        if cached is None:
+            cached = self.manager.true
+            for position in sorted(positions):
+                cached = cached & self._factors[position]
+            self._combined[positions] = cached
+        return cached
 
     # -- entailment queries --------------------------------------------------
     def satisfiable(self) -> bool:
         """True iff the timing relations admit at least one instant."""
-        return self._relation_bdd.is_satisfiable()
+        return not self._unsatisfiable
 
     def entails(self, constraint: BDD) -> bool:
         """``R |= constraint``: the constraint holds in every instant allowed by R."""
-        return self._relation_bdd.implies(constraint).is_true()
+        if self._unsatisfiable:
+            return True
+        relevant = self._relevant_relation(constraint.support())
+        return relevant.implies(constraint).is_true()
+
+    def feasible(self, constraint: BDD) -> bool:
+        """``R ∧ constraint`` is satisfiable: the constraint can tick at all."""
+        if self._unsatisfiable:
+            return False
+        return (self._relevant_relation(constraint.support()) & constraint).is_satisfiable()
+
+    def constrained(self, constraint: BDD) -> BDD:
+        """``constraint`` conjoined with exactly the factors it touches.
+
+        Equi-satisfiable with ``R ∧ constraint`` whenever ``R`` is
+        satisfiable (the untouched factors are variable-disjoint), and
+        closed under conjunction: conjoining two constrained labels yields
+        a constrained label of their conjunction — which is what lets the
+        scheduling closure propagate feasibility component-locally.
+        """
+        return self._relevant_relation(constraint.support()) & constraint
 
     def entails_equal(self, left: ClockExpressionSyntax, right: ClockExpressionSyntax) -> bool:
         """``R |= left = right``."""

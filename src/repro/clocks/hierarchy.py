@@ -17,7 +17,7 @@ by the compositional criterion of Section 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.clocks.algebra import ClockAlgebra
 from repro.clocks.expressions import clock_key, format_clock_expression
@@ -33,6 +33,22 @@ from repro.lang.ast import (
 from repro.lang.normalize import NormalizedProcess
 
 ClockKey = Tuple
+
+
+class _AbsentByDefault(dict):
+    """A partial witness assignment totalized by absence.
+
+    BDD evaluation asks for arbitrary variables; everything the witness did
+    not pin (presences and values of unrelated signals) reads as ``False``
+    — the all-absent completion, which satisfies every clock-relation
+    factor by construction.
+    """
+
+    def __contains__(self, key: object) -> bool:  # evaluate() probes membership
+        return True
+
+    def __missing__(self, key: str) -> bool:
+        return False
 
 
 @dataclass
@@ -236,20 +252,52 @@ def build_hierarchy(
 
     clocks = _interesting_clocks(process)
 
-    # rule 2: equivalence classes under provable equality
+    # rule 2: equivalence classes under provable equality.  The pairwise
+    # entailment sweep is O(clocks × classes); before paying a BDD
+    # entailment per pair, candidates are screened against a pool of
+    # *R-satisfying witness samples* (one per discovered class).  Clocks
+    # provably equal under R agree on every R-satisfying assignment, so a
+    # spectrum mismatch soundly rules the pair out; only spectrum-identical
+    # pairs reach the entailment check.  On an N-component composition this
+    # turns almost every cross-component comparison into a couple of
+    # constant-time BDD evaluations.
     classes: List[ClockClass] = []
     class_bdds: List = []
+    class_spectra: List[List[bool]] = []
+    samples: List[Mapping[str, bool]] = []
+
+    def spectrum(encoded, cache: List[bool]) -> List[bool]:
+        while len(cache) < len(samples):
+            cache.append(encoded.evaluate(samples[len(cache)]))
+        return cache
+
     for clock in clocks:
         encoded = algebra.encode(clock)
+        candidate_spectrum: List[bool] = []
         placed = False
-        for clock_class, representative_bdd in zip(classes, class_bdds):
-            if algebra.entails(encoded.iff(representative_bdd)):
-                clock_class.members.append(clock)
-                placed = True
-                break
+        for position, clock_class in enumerate(classes):
+            representative_bdd = class_bdds[position]
+            if encoded is not representative_bdd:
+                if spectrum(encoded, candidate_spectrum) != spectrum(
+                    representative_bdd, class_spectra[position]
+                ):
+                    continue
+                if not algebra.entails(encoded.iff(representative_bdd)):
+                    continue
+            clock_class.members.append(clock)
+            placed = True
+            break
         if not placed:
             classes.append(ClockClass(index=len(classes), members=[clock]))
             class_bdds.append(encoded)
+            class_spectra.append(candidate_spectrum)
+            # a witness instant for the new class: the clock ticks, its own
+            # relation factors hold, and every other signal is absent — the
+            # all-absent completion satisfies the remaining factors, so the
+            # sample satisfies R and the screening stays sound
+            witness = algebra.constrained(encoded).satisfy_one()
+            if witness is not None:
+                samples.append(_AbsentByDefault(witness))
 
     key_to_class: Dict[ClockKey, int] = {}
     for clock_class in classes:

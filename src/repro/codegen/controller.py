@@ -348,7 +348,10 @@ def synthesize_controller(
                 owners[signal] = compiled.process.name
 
     constraints: List[ClockConstraintSpec] = []
-    analysis = verdict.analysis
+    # a criterion verdict assembled from persisted artifacts materializes
+    # its composition analysis here, on demand — synthesis needs the live
+    # clock algebra to mine the implied equalities
+    analysis = verdict.composition_analysis()
     if analysis is not None:
         from repro.lang.ast import ClockFalse as _CF, ClockTrue as _CT
 

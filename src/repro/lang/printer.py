@@ -19,7 +19,7 @@ design registry and artifact store key on.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.lang.ast import (
     BinaryOp,
@@ -292,6 +292,23 @@ def format_canonical(process: NormalizedProcess) -> str:
     return "\n".join(lines) + "\n"
 
 
+def digest_of_forms(forms: Iterable[str], extra: Optional[str] = None) -> str:
+    """The SHA-256 digest of already-rendered canonical forms.
+
+    The single implementation of the content-digest hash: both
+    :func:`canonical_digest` (rendering the forms itself) and callers that
+    memoize canonical forms (``AnalysisContext.design_digest``) go through
+    here, so the byte layout cannot silently fork.
+    """
+    digest = hashlib.sha256()
+    for form in sorted(forms):
+        digest.update(form.encode("utf-8"))
+        digest.update(b"\x00")
+    if extra:
+        digest.update(extra.encode("utf-8"))
+    return digest.hexdigest()
+
+
 def canonical_digest(processes: Iterable[NormalizedProcess], extra: Optional[str] = None) -> str:
     """The SHA-256 content digest of one or more normalized processes.
 
@@ -301,16 +318,47 @@ def canonical_digest(processes: Iterable[NormalizedProcess], extra: Optional[str
     artifact store key on: same digest ⇔ same canonical source ⇔ same
     analyses, same compiled relations, same verdicts.
     """
-    forms = sorted(format_canonical(process) for process in processes)
-    digest = hashlib.sha256()
-    for form in forms:
-        digest.update(form.encode("utf-8"))
-        digest.update(b"\x00")
-    if extra:
-        digest.update(extra.encode("utf-8"))
-    return digest.hexdigest()
+    return digest_of_forms(
+        (format_canonical(process) for process in processes), extra
+    )
 
 
 def process_digest(process: NormalizedProcess) -> str:
     """The content digest of a single normalized process."""
     return canonical_digest([process])
+
+
+def process_fingerprint(process: NormalizedProcess) -> str:
+    """An *exact* (α-sensitive) fingerprint of a normalized process.
+
+    Unlike :func:`process_digest`, hidden locals are **not** α-renamed: two
+    processes that differ only in the spelling of a hidden local share a
+    digest but get distinct fingerprints.  The artifact graph keys its
+    in-memory nodes by ``(digest, fingerprint)`` because most in-memory
+    artifacts (analyses, hierarchies, compiled relations, LTS states) name
+    concrete signals — an α-variant must not adopt them — while the
+    persistent tier keys by digest alone and *validates* names on load.
+
+    Cheap by construction: no partition refinement, just a sorted render.
+    """
+    digest = hashlib.sha256()
+    digest.update(process.name.encode("utf-8"))
+    for group in (process.inputs, process.outputs, process.locals):
+        digest.update(("\x00" + ",".join(group)).encode("utf-8"))
+    digest.update(
+        ("\x00" + ",".join(f"{k}:{v}" for k, v in sorted(process.types.items()))).encode("utf-8")
+    )
+    for line in sorted(format_primitive_equation(equation) for equation in process.equations):
+        digest.update(("\x00" + line).encode("utf-8"))
+    return digest.hexdigest()[:24]
+
+
+def options_fingerprint(options: Mapping[str, object]) -> str:
+    """The canonical rendering of a query-options mapping.
+
+    One deterministic spelling shared by every layer that keys on options —
+    the session's verdict nodes, the artifact store's ``verdict-*`` object
+    names and the service scheduler's coalescing table — so that "the same
+    query" resolves to the same artifact everywhere.
+    """
+    return repr(sorted(options.items(), key=repr))

@@ -582,6 +582,51 @@ class CompiledAbstraction:
         }
 
 
+def compiled_artifact_payload(
+    process: NormalizedProcess, abstraction: Optional["CompiledAbstraction"]
+) -> Dict[str, object]:
+    """The artifact-store payload of a compilation result, positive or negative.
+
+    A ``None`` abstraction is the *negative* answer — the process is outside
+    the boolean-definable fragment — persisted with its obstacles and the
+    payload format, so a later release that widens the fragment invalidates
+    stale negatives instead of pinning the process to the interpreter.
+    """
+    if abstraction is None:
+        return {
+            "compilable": False,
+            "format": CompiledAbstraction.PAYLOAD_FORMAT,
+            "process": process.name,
+            "obstacles": compilation_obstacles(process),
+        }
+    return {
+        "compilable": True,
+        "process": process.name,
+        "abstraction": abstraction.to_payload(),
+    }
+
+
+def compiled_from_artifact(
+    process: NormalizedProcess, payload: Mapping[str, object]
+) -> Optional["CompiledAbstraction"]:
+    """Decode a persisted compilation result back onto ``process``.
+
+    Returns ``None`` for a valid persisted negative answer; raises
+    ``ValueError`` / ``KeyError`` / ``TypeError`` when the payload is stale
+    (format bump, negative from an older fragment) or was built for an
+    α-variant with different signal spellings — callers treat that as a
+    cache miss and recompile.
+    """
+    if not payload.get("compilable", True):
+        if payload.get("format") != CompiledAbstraction.PAYLOAD_FORMAT:
+            raise ValueError(
+                "negative compilation answer from payload format "
+                f"{payload.get('format')!r}; the fragment may have widened"
+            )
+        return None
+    return CompiledAbstraction.from_payload(process, payload["abstraction"])
+
+
 def build_lts_compiled(
     process: NormalizedProcess,
     hierarchy: Optional[ClockHierarchy] = None,

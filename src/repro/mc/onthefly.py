@@ -117,6 +117,7 @@ class ProductLTS:
         types: Optional[Mapping[str, str]] = None,
         engine: str = "compiled",
         compile_component=None,
+        hierarchy_for=None,
     ):
         if not components:
             raise ValueError("a product needs at least one component")
@@ -133,14 +134,14 @@ class ProductLTS:
         # joins the very reactions the eager engine enumerates.
         if types is None:
             types = reduce(lambda left, right: left.compose(right), components).types
-        abstracted: List[Tuple[NormalizedProcess, Optional[ClockHierarchy]]] = []
+        abstracted: List[Tuple[NormalizedProcess, Optional[ClockHierarchy], bool]] = []
         for component, hierarchy in zip(components, hierarchies):
             local_types = {
                 signal: types.get(signal, component.types.get(signal, "any"))
                 for signal in component.all_signals()
             }
             if local_types == dict(component.types):
-                abstracted.append((component, hierarchy))
+                abstracted.append((component, hierarchy, True))
             else:
                 retyped = NormalizedProcess(
                     name=component.name,
@@ -151,26 +152,37 @@ class ProductLTS:
                     types=local_types,
                 )
                 # the memoized hierarchy was built for the old types
-                abstracted.append((retyped, None))
+                abstracted.append((retyped, None, False))
         #: the components as actually abstracted (retyped under the unified
         #: types where needed) — the symbolic product must encode these same
         #: abstractions, not the locally-typed originals
-        self.abstracted = tuple(component for component, _hierarchy in abstracted)
+        self.abstracted = tuple(component for component, _hierarchy, _orig in abstracted)
         # ``engine="compiled"``: each component enumerates its reactions from
         # its compiled step relation (repro.mc.compiled) when it fits the
         # boolean-definable fragment, falling back to the interpreter-backed
         # BooleanAbstraction per component otherwise.  ``compile_component``
         # lets a session (AnalysisContext) serve memoized compilations so the
         # same components are not recompiled per product instance.
+        # ``hierarchy_for`` resolves a missing hierarchy lazily, and only for
+        # components that actually fall back to the interpreter — a product
+        # whose relations all load from an artifact store needs no hierarchy
+        # (hence no ProcessAnalysis) for any component.
         if compile_component is None and engine == "compiled":
             from repro.mc.compiled import CompiledAbstraction
 
             compile_component = CompiledAbstraction.try_compile
         self._lts = []
-        for component, hierarchy in abstracted:
+        for component, hierarchy, original in abstracted:
             abstraction = (
                 compile_component(component, hierarchy) if engine == "compiled" else None
             )
+            if (
+                abstraction is None
+                and hierarchy is None
+                and original
+                and hierarchy_for is not None
+            ):
+                hierarchy = hierarchy_for(component)
             self._lts.append(LazyReactionLTS(component, hierarchy, abstraction=abstraction))
         self._domains = [set(component.all_signals()) for component in components]
         self._union_domain = tuple(sorted(set().union(*self._domains)))

@@ -178,5 +178,16 @@ def verify_hierarchic(process: Union[NormalizedProcess, ProcessAnalysis]) -> Ver
 
 
 def is_compilable(process: NormalizedProcess) -> bool:
-    """Definition 10 as a standalone predicate (shim over :func:`verify_compilable`)."""
+    """Definition 10 as a standalone predicate (shim over :func:`verify_compilable`).
+
+    .. deprecated:: use ``Design.verify("compilable")`` or
+       :func:`verify_compilable` — the Verdict carries the same boolean plus
+       the per-clause diagnostics.
+    """
+    warnings.warn(
+        "is_compilable() is deprecated; use Design.verify('compilable') or "
+        "verify_compilable() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return verify_compilable(process).holds

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import reduce
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.api.results import Cost, Diagnostic, Verdict, stopwatch
 from repro.clocks.expressions import format_clock_expression
@@ -30,10 +30,20 @@ from repro.lang.ast import ClockExpressionSyntax, ClockFalse, ClockOf, ClockTrue
 from repro.lang.normalize import NormalizedProcess
 from repro.properties.compilable import ProcessAnalysis
 
+#: artifact-store object kinds of the criterion's two persisted stages
+DIAGNOSIS_KIND = "diagnosis"
+OBLIGATIONS_KIND = "obligations"
+
 
 @dataclass
 class ComponentDiagnosis:
-    """Per-component verdicts of the weakly hierarchic criterion."""
+    """Per-component verdicts of the weakly hierarchic criterion.
+
+    This is the paper's *per-component obligation* — endochrony via
+    Property 2 — and, being α-invariant booleans, it is a persistent
+    artifact: keyed by the component's content digest, it survives
+    composition, edits of *other* components, and session restarts.
+    """
 
     name: str
     compilable: bool
@@ -44,11 +54,66 @@ class ComponentDiagnosis:
         """Property 2: compilable and hierarchic implies endochronous."""
         return self.compilable and self.hierarchic
 
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "compilable": self.compilable,
+            "hierarchic": self.hierarchic,
+            "roots": self.roots,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ComponentDiagnosis":
+        return cls(
+            name=str(payload["name"]),
+            compilable=bool(payload["compilable"]),
+            hierarchic=bool(payload["hierarchic"]),
+            roots=int(payload["roots"]),
+        )
+
     def __str__(self) -> str:
         verdict = "endochronous" if self.endochronous() else "NOT endochronous"
         return (
             f"{self.name}: {verdict} "
             f"(compilable={self.compilable}, roots={self.roots})"
+        )
+
+
+@dataclass(frozen=True)
+class CompositionObligations:
+    """The composition-level clauses of Definition 12, as one artifact.
+
+    Everything the criterion needs from the *composed* process:
+    well-clockedness, acyclicity, the root count, the shared interface
+    signals and the reported clock constraints (the isochrony obligations
+    the code generator turns into rendez-vous points).  Keyed by the design
+    digest — editing any component moves the key, so exactly this artifact
+    (and nothing per-component) is recomputed after an edit.
+    """
+
+    well_clocked: bool
+    acyclic: bool
+    roots: int
+    shared_signals: Tuple[str, ...]
+    reported_constraints: Tuple[str, ...]
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "well_clocked": self.well_clocked,
+            "acyclic": self.acyclic,
+            "roots": self.roots,
+            "shared_signals": list(self.shared_signals),
+            "reported_constraints": list(self.reported_constraints),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CompositionObligations":
+        return cls(
+            well_clocked=bool(payload["well_clocked"]),
+            acyclic=bool(payload["acyclic"]),
+            roots=int(payload["roots"]),
+            shared_signals=tuple(payload["shared_signals"]),
+            reported_constraints=tuple(payload["reported_constraints"]),
         )
 
 
@@ -64,6 +129,24 @@ class CompositionVerdict:
     shared_signals: List[str] = field(default_factory=list)
     reported_constraints: List[str] = field(default_factory=list)
     analysis: Optional[ProcessAnalysis] = None
+    #: lazy supplier of the composition analysis, set when the verdict was
+    #: assembled from persisted artifacts (no analysis was built); consumers
+    #: that need the live object call :meth:`composition_analysis`
+    analysis_provider: Optional[Callable[[], ProcessAnalysis]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def composition_analysis(self) -> Optional[ProcessAnalysis]:
+        """The composition's :class:`ProcessAnalysis`, computed on demand.
+
+        A verdict assembled from the artifact graph carries no live
+        analysis — the whole point of the warm path; consumers that need
+        one (the Section 5.2 controller synthesis mines its clock algebra)
+        get it here, paid only when actually asked for.
+        """
+        if self.analysis is None and self.analysis_provider is not None:
+            self.analysis = self.analysis_provider()
+        return self.analysis
 
     def components_endochronous(self) -> bool:
         return all(component.endochronous() for component in self.components)
@@ -149,6 +232,76 @@ def _interface_clock_constraints(
     return constraints
 
 
+def _diagnose_component(analysis: ProcessAnalysis, name: str) -> ComponentDiagnosis:
+    return ComponentDiagnosis(
+        name=name,
+        compilable=analysis.is_compilable(),
+        hierarchic=analysis.is_hierarchic(),
+        roots=analysis.root_count(),
+    )
+
+
+def component_diagnosis(context, component: NormalizedProcess) -> ComponentDiagnosis:
+    """The per-component obligation of Definition 12, as an artifact node.
+
+    Keyed by the component's content digest and persisted (the verdicts are
+    α-invariant booleans): a warm store answers without building the
+    component's :class:`ProcessAnalysis` at all, and an edit of one
+    component leaves every other component's diagnosis addressed and warm —
+    the paper's compositionality theorem as a cache policy.
+    """
+    return context.graph.resolve(
+        "diagnosis",
+        context.digest_of(component),
+        compute=lambda: _diagnose_component(context.analysis(component), component.name),
+        kind=DIAGNOSIS_KIND,
+        encode=ComponentDiagnosis.to_payload,
+        decode=ComponentDiagnosis.from_payload,
+        keep=(component,),
+    )
+
+
+def composition_obligations(
+    context,
+    components: Sequence[NormalizedProcess],
+    composition: NormalizedProcess,
+) -> CompositionObligations:
+    """The composition-level clauses of Definition 12, as an artifact node.
+
+    Keyed by the *design* digest (the digest of the component set) plus the
+    composition's own content digest: an edit of any component moves the
+    key and this — only this — recomputes among the composition-level
+    artifacts, together with the edited component's own stages; and a
+    custom composition (one that differs from the plain compose of the
+    components, e.g. with extra constraints) gets its own node instead of
+    adopting the default composition's answers.
+    """
+    def compute() -> CompositionObligations:
+        analysis = context.analysis(composition)
+        shared = _shared_signals(components)
+        return CompositionObligations(
+            well_clocked=analysis.is_well_clocked(),
+            acyclic=analysis.is_acyclic(),
+            roots=analysis.root_count(),
+            shared_signals=tuple(shared),
+            reported_constraints=tuple(
+                _interface_clock_constraints(analysis, components, shared)
+            ),
+        )
+
+    composition_identity = context.digest_of(composition)
+    return context.graph.resolve(
+        "obligations",
+        context.design_digest(components),
+        composition_identity,
+        compute=compute,
+        kind=f"{OBLIGATIONS_KIND}-{composition_identity[:16]}",
+        encode=CompositionObligations.to_payload,
+        decode=CompositionObligations.from_payload,
+        keep=tuple(components) + (composition,),
+    )
+
+
 def check_weakly_hierarchic(
     components: Sequence[NormalizedProcess],
     composition: Optional[NormalizedProcess] = None,
@@ -158,10 +311,14 @@ def check_weakly_hierarchic(
     """Definition 12 over explicit components and (optionally) their composition.
 
     ``context`` may be a :class:`repro.api.session.AnalysisContext` (or any
-    object with an ``analysis(process)`` method): per-component and
-    composition analyses are then fetched from its memo instead of being
-    rebuilt, so repeated checks over the same components share all clock
-    calculus work and one BDD manager.
+    object with an ``analysis(process)`` method): the per-component
+    diagnoses and the composition-level obligations are then artifact
+    nodes of the context's graph — reused from its memo or its attached
+    store instead of being rebuilt — so repeated checks over the same
+    components share all clock calculus work, and a check after a
+    one-component edit recomputes only the edited component's diagnosis
+    plus the obligations.  Without a context (or with a bare
+    ``analysis``-only object) everything is computed flat, as before.
     """
     if not components:
         raise ValueError("the criterion needs at least one component")
@@ -176,20 +333,28 @@ def check_weakly_hierarchic(
             equations=composition.equations,
             types=dict(composition.types),
         )
-    analysis_of = context.analysis if context is not None else ProcessAnalysis
 
     verdict = CompositionVerdict(composition_name=composition.name)
-    for component in components:
-        analysis = analysis_of(component)
-        verdict.components.append(
-            ComponentDiagnosis(
-                name=component.name,
-                compilable=analysis.is_compilable(),
-                hierarchic=analysis.is_hierarchic(),
-                roots=analysis.root_count(),
-            )
-        )
+    graph = getattr(context, "graph", None)
+    if graph is not None and hasattr(context, "digest_of"):
+        for component in components:
+            verdict.components.append(component_diagnosis(context, component))
+        obligations = composition_obligations(context, components, composition)
+        verdict.composition_well_clocked = obligations.well_clocked
+        verdict.composition_acyclic = obligations.acyclic
+        verdict.composition_roots = obligations.roots
+        verdict.shared_signals = list(obligations.shared_signals)
+        verdict.reported_constraints = list(obligations.reported_constraints)
+        # the analysis is supplied lazily: a warm-path verdict built no
+        # ProcessAnalysis, and most consumers never need one
+        verdict.analysis_provider = lambda: context.analysis(composition)
+        return verdict
 
+    analysis_of = context.analysis if context is not None else ProcessAnalysis
+    for component in components:
+        verdict.components.append(
+            _diagnose_component(analysis_of(component), component.name)
+        )
     composition_analysis = analysis_of(composition)
     verdict.analysis = composition_analysis
     verdict.composition_well_clocked = composition_analysis.is_well_clocked()
@@ -203,10 +368,16 @@ def check_weakly_hierarchic(
 
 
 def compose_and_check(
-    components: Sequence[NormalizedProcess], name: Optional[str] = None
+    components: Sequence[NormalizedProcess], name: Optional[str] = None, context=None
 ) -> CompositionVerdict:
-    """Compose the components by name-matching and run the static criterion."""
-    return check_weakly_hierarchic(components, composition_name=name)
+    """Compose the components by name-matching and run the static criterion.
+
+    With a ``context`` (an :class:`~repro.api.session.AnalysisContext`,
+    optionally backed by an artifact store) the verdict is assembled from
+    the graph's per-component diagnoses and composition obligations — on a
+    warm store, without building a single analysis.
+    """
+    return check_weakly_hierarchic(components, composition_name=name, context=context)
 
 
 def verify_weakly_hierarchic(

@@ -15,6 +15,7 @@ paper's examples).
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -48,13 +49,35 @@ def verify_endochrony(
 
 
 def is_hierarchic(process: NormalizedProcess, analysis: Optional[ProcessAnalysis] = None) -> bool:
-    """Definition 11: the clock hierarchy of the process has a unique root."""
+    """Definition 11: the clock hierarchy of the process has a unique root.
+
+    .. deprecated:: use ``Design.verify("hierarchic")`` or
+       :meth:`ProcessAnalysis.is_hierarchic` — the Verdict reports the root
+       count alongside the boolean.
+    """
+    warnings.warn(
+        "is_hierarchic() is deprecated; use Design.verify('hierarchic') or "
+        "ProcessAnalysis.is_hierarchic() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     analysis = analysis or ProcessAnalysis(process)
     return analysis.is_hierarchic()
 
 
 def is_endochronous(process: NormalizedProcess, analysis: Optional[ProcessAnalysis] = None) -> bool:
-    """Property 2 as a bare boolean (shim over :func:`verify_endochrony`)."""
+    """Property 2 as a bare boolean (shim over :func:`verify_endochrony`).
+
+    .. deprecated:: use ``Design.verify("endochrony")`` or
+       :func:`verify_endochrony` — the Verdict carries the same boolean plus
+       the Property 2 diagnostics.
+    """
+    warnings.warn(
+        "is_endochronous() is deprecated; use Design.verify('endochrony') or "
+        "verify_endochrony() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return verify_endochrony(process, analysis).holds
 
 

@@ -15,6 +15,7 @@ deadlock it reaches instead of materializing the full product first.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.api.results import Cost, Diagnostic, Verdict, diagnostics_from_invariants, stopwatch
@@ -104,6 +105,17 @@ def is_non_blocking(
     hierarchy: Optional[ClockHierarchy] = None,
     max_states: int = 512,
 ) -> InvariantResult:
-    """Definition 4, old entry point (shim over :func:`verify_non_blocking`)."""
+    """Definition 4, old entry point (shim over :func:`verify_non_blocking`).
+
+    .. deprecated:: use ``Design.verify("non-blocking")`` or
+       :func:`verify_non_blocking` — the Verdict wraps the same
+       :class:`InvariantResult` as its ``report``.
+    """
+    warnings.warn(
+        "is_non_blocking() is deprecated; use Design.verify('non-blocking') or "
+        "verify_non_blocking() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     verdict = verify_non_blocking(process, lts, hierarchy, max_states)
     return verdict.report

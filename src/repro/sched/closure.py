@@ -52,11 +52,19 @@ def transitive_closure(graph: SchedulingGraph) -> Dict[Tuple[Node, Node], BDD]:
 
 
 def _feasible_edges(graph: SchedulingGraph):
-    """The edges whose clock label can actually tick under the timing relations."""
-    relation = graph.algebra.relation_bdd
+    """The edges whose clock label can actually tick under the timing relations.
+
+    Each label is conjoined with the relation *factors* it touches
+    (:meth:`~repro.clocks.algebra.ClockAlgebra.constrained`) rather than the
+    full relation — equi-satisfiable, and on an N-component composition the
+    per-edge BDD work stays local to the components the edge mentions.
+    """
+    algebra = graph.algebra
+    if not algebra.satisfiable():
+        return []
     feasible = []
     for edge in graph.edges():
-        constrained = relation & edge.label
+        constrained = algebra.constrained(edge.label)
         if constrained.is_satisfiable():
             feasible.append((edge, constrained))
     return feasible
@@ -120,7 +128,7 @@ def cyclic_nodes(graph: SchedulingGraph) -> List[Tuple[Node, BDD]]:
     keeps the check cheap on large compositions.
     """
     manager = graph.algebra.manager
-    relation = graph.algebra.relation_bdd
+    algebra = graph.algebra
     feasible = _feasible_edges(graph)
     successors: Dict[Node, List[Node]] = {}
     for edge, _constrained in feasible:
@@ -161,9 +169,12 @@ def cyclic_nodes(graph: SchedulingGraph) -> List[Tuple[Node, BDD]]:
                     closure[key] = closure.get(key, manager.false) | combined
         for node in ordered:
             label = closure.get((node, node))
-            if label is not None and (relation & label).is_satisfiable():
+            # the closure entries already carry the relation factors of every
+            # label on their path (constrained labels are closed under
+            # conjunction), so satisfiability alone decides feasibility here
+            if label is not None and label.is_satisfiable():
                 if node not in self_loops:
-                    offenders.append((node, relation & label))
+                    offenders.append((node, algebra.constrained(label)))
     return offenders
 
 

@@ -116,9 +116,7 @@ class SchedulingGraph:
     def effective_edges(self) -> Tuple[Edge, ...]:
         """Edges whose label is not provably empty under the timing relations."""
         return tuple(
-            edge
-            for edge in self.edges()
-            if (self.algebra.relation_bdd & edge.label).is_satisfiable()
+            edge for edge in self.edges() if self.algebra.feasible(edge.label)
         )
 
     def describe(self) -> str:

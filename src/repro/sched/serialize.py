@@ -55,11 +55,10 @@ def sequential_schedule(
     :class:`SerializationError` when a feasible cycle remains.
     """
     wanted = list(nodes) if nodes is not None else list(graph.nodes())
-    relation = graph.algebra.relation_bdd
     feasible_edges = [
         edge
         for edge in graph.edges()
-        if (relation & edge.label).is_satisfiable()
+        if graph.algebra.feasible(edge.label)
         and edge.source in wanted
         and edge.target in wanted
     ]

@@ -11,8 +11,12 @@ Subcommands::
 
 ``serve`` runs until interrupted (or until a client sends ``shutdown``);
 ``submit`` registers a source file and verifies in one round trip; ``query``
-addresses an already-registered design by digest.  All outputs are JSON on
-stdout, one object per line, so the CLI composes with ``jq`` and scripts.
+addresses an already-registered design by digest; ``stats`` reports the
+scheduler counters *and* the per-stage artifact-graph counters
+(``.artifacts.stages`` — hits / store hits / computed / invalidated for
+every pipeline stage, summed over the live sessions).  All outputs are JSON
+on stdout, one object per line, so the CLI composes with ``jq`` and
+scripts.
 """
 
 from __future__ import annotations
@@ -147,7 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
     _query_arguments(query)
     query.set_defaults(handler=_query)
 
-    stats = commands.add_parser("stats", help="print service counters")
+    stats = commands.add_parser(
+        "stats", help="print service counters (incl. per-stage artifact-graph counters)"
+    )
     stats.add_argument("--socket", required=True)
     stats.set_defaults(handler=_stats)
 

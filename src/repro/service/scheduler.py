@@ -34,7 +34,9 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
 from typing import Dict, Iterable, Optional, Tuple, Union
 
+from repro.api.artifacts import COUNTER_FIELDS
 from repro.api.session import Design, ProcessLike
+from repro.lang.printer import options_fingerprint
 from repro.service.registry import DesignRegistry
 from repro.service.store import ArtifactStore
 
@@ -272,7 +274,7 @@ class VerificationService:
             digest,
             canonical_property(prop),
             method,
-            repr(sorted(options.items(), key=repr)),
+            options_fingerprint(options),
         )
         cached = self._cache.get(key)
         if cached is not None:
@@ -392,6 +394,33 @@ class VerificationService:
         return asyncio.run(self.describe(target))
 
     # -- lifecycle / reporting -------------------------------------------------------
+    def artifact_stats(self) -> Dict[str, object]:
+        """Per-stage artifact-graph counters, summed over the live sessions.
+
+        The service's verdict cache is just the top tier of the same graph
+        every registered session resolves through; this is the view below
+        it — which pipeline stages hit their memo, reloaded from the store,
+        were computed, or were invalidated, per stage, across all designs.
+        """
+        stages: Dict[str, Dict[str, int]] = {}
+        contexts: Dict[int, object] = {}
+        for _digest, design in self.registry.entries():
+            # designs registered over one shared context report one graph;
+            # summing it per design would double-count every stage
+            contexts.setdefault(id(design.context), design.context)
+        for context in contexts.values():
+            for stage, counters in context.graph.stats()["stages"].items():
+                totals = stages.setdefault(
+                    stage, {field: 0 for field in COUNTER_FIELDS}
+                )
+                for field in COUNTER_FIELDS:
+                    totals[field] += counters.get(field, 0)
+        return {
+            "stages": stages,
+            "sessions": len(self.registry),
+            "contexts": len(contexts),
+        }
+
     def stats(self) -> Dict[str, object]:
         return {
             "registry": self.registry.stats(),
@@ -404,6 +433,7 @@ class VerificationService:
             "coalesced": self.coalesced,
             "computations": self.computations,
             "inflight": len(self._inflight),
+            "artifacts": self.artifact_stats(),
         }
 
     def close(self) -> None:

@@ -2,12 +2,20 @@
 
 Artifacts live on disk under ``<root>/objects/<digest[:2]>/<digest>/<kind>.json``
 — the same layout whether the store is read by the serving process, by a
-process-pool worker, or by a later service run.  Three kinds are stored:
+process-pool worker, or by a later service run.  The stored kinds:
 
 * ``compiled`` — the serialized BDD step relation of a process
   (:meth:`repro.mc.compiled.CompiledAbstraction.to_payload`), or the
   persisted *negative* answer (process outside the compiled fragment, with
   its obstacles) so warm starts skip the recompile attempt entirely;
+* ``diagnosis`` — the per-component obligation of the weakly hierarchic
+  criterion (compilable / hierarchic / roots,
+  :class:`~repro.properties.composition.ComponentDiagnosis`), keyed by the
+  component digest;
+* ``obligations-<composition>`` — the composition-level clauses of
+  Definition 12 (:class:`~repro.properties.composition.CompositionObligations`),
+  keyed by the design digest and suffixed with the composition's own
+  content digest (a custom composition differs from the plain compose);
 * ``analysis`` — per-process analysis summaries of a design (composition
   and components), served by the service's ``describe`` operation without
   recomputation;
@@ -17,11 +25,16 @@ process-pool worker, or by a later service run.  Three kinds are stored:
   content-addressable: a restarted service answers repeat queries from
   disk without running any pipeline stage.
 
-The store doubles as the ``artifact_cache`` hook of
-:class:`~repro.api.session.AnalysisContext` (:meth:`load_compiled` /
-:meth:`store_compiled`), which is how every engine of the session — single
-process, lazy product, retyped product components — transparently reuses
-persisted relations.
+The store is the **persistent tier** of the session's
+:class:`~repro.api.artifacts.ArtifactGraph`: attaching it as
+``AnalysisContext.artifact_cache`` plugs :meth:`get` / :meth:`put` under
+every persistent stage of the pipeline, which is how a warm store
+accelerates all of them — compilations, per-component diagnoses,
+composition obligations and completed verdicts alike — and how every
+engine of the session (single process, lazy product, retyped product
+components) transparently reuses persisted relations.  The historical
+:meth:`load_compiled` / :meth:`store_compiled` protocol remains as a thin
+wrapper over the same objects.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent services
 sharing a store directory can race on the same artifact and both end up
@@ -32,16 +45,20 @@ functions of the process).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
+from repro.api.artifacts import verdict_kind
 from repro.lang.normalize import NormalizedProcess
 from repro.lang.printer import process_digest
-from repro.mc.compiled import CompiledAbstraction, compilation_obstacles
+from repro.mc.compiled import (
+    CompiledAbstraction,
+    compiled_artifact_payload,
+    compiled_from_artifact,
+)
 
 
 class ArtifactStore:
@@ -101,7 +118,7 @@ class ArtifactStore:
         self.writes += 1
         return path
 
-    # -- the AnalysisContext.artifact_cache protocol ------------------------------
+    # -- the historical artifact_cache protocol (wraps the graph objects) ----------
     def load_compiled(
         self, process: NormalizedProcess
     ) -> Tuple[bool, Optional[CompiledAbstraction]]:
@@ -110,26 +127,17 @@ class ArtifactStore:
         ``(True, None)`` is the persisted negative answer — the process is
         known to be outside the compiled fragment and the caller should fall
         back to the interpreter without attempting compilation.  A payload
-        that fails validation (format bump, digest mismatch after a
-        canonical-form change) is treated as a miss and recompiled.
+        that fails validation (format bump, stale negative, α-variant
+        spellings) is treated as a miss and recompiled.  Sessions now reach
+        the same objects through the artifact graph's :meth:`get`/:meth:`put`
+        protocol; this wrapper serves direct callers.
         """
         digest = process_digest(process)
         payload = self.get(digest, "compiled")
         if payload is None:
             return False, None
-        if not payload.get("compilable", True):
-            # negative answers are format-versioned too: a release that
-            # widens the compiled fragment bumps PAYLOAD_FORMAT, and stale
-            # negatives must become misses (and be retried), not pins to
-            # the interpreter path forever
-            if payload.get("format") != CompiledAbstraction.PAYLOAD_FORMAT:
-                self.invalid += 1
-                return False, None
-            return True, None
         try:
-            return True, CompiledAbstraction.from_payload(
-                process, payload["abstraction"]
-            )
+            return True, compiled_from_artifact(process, payload)
         except (KeyError, ValueError, TypeError):
             self.invalid += 1
             return False, None
@@ -138,21 +146,11 @@ class ArtifactStore:
         self, process: NormalizedProcess, abstraction: Optional[CompiledAbstraction]
     ) -> None:
         """Persist a compilation result — positive or negative — for reuse."""
-        digest = process_digest(process)
-        if abstraction is None:
-            payload: Dict[str, object] = {
-                "compilable": False,
-                "format": CompiledAbstraction.PAYLOAD_FORMAT,
-                "process": process.name,
-                "obstacles": compilation_obstacles(process),
-            }
-        else:
-            payload = {
-                "compilable": True,
-                "process": process.name,
-                "abstraction": abstraction.to_payload(),
-            }
-        self.put(digest, "compiled", payload)
+        self.put(
+            process_digest(process),
+            "compiled",
+            compiled_artifact_payload(process, abstraction),
+        )
 
     # -- analysis summaries --------------------------------------------------------
     def load_analysis(self, digest: str) -> Optional[Dict[str, object]]:
@@ -170,10 +168,10 @@ class ArtifactStore:
     # without touching the pipeline at all.
     @staticmethod
     def query_kind(prop: str, method: str, options_key: str) -> str:
-        token = hashlib.sha256(
-            f"{prop}\x00{method}\x00{options_key}".encode("utf-8")
-        ).hexdigest()[:16]
-        return f"verdict-{token}"
+        # one naming scheme with the session facade's verdict nodes
+        # (repro.api.artifacts.verdict_kind), so a verdict a Design persists
+        # is the object the service answers the repeat query from
+        return verdict_kind(prop, method, options_key)
 
     def load_verdict(
         self, digest: str, prop: str, method: str, options_key: str

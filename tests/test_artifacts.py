@@ -1,0 +1,172 @@
+"""The artifact graph: tiers, codecs, dependency tracking, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.artifacts import ArtifactGraph, verdict_kind
+
+
+class DictStore:
+    """A minimal in-memory object store speaking the graph's store protocol."""
+
+    def __init__(self):
+        self.objects = {}
+        self.reads = 0
+        self.writes = 0
+
+    def get(self, digest, kind):
+        self.reads += 1
+        return self.objects.get((digest, kind))
+
+    def put(self, digest, kind, payload):
+        self.writes += 1
+        self.objects[(digest, kind)] = payload
+
+
+def test_memory_tier_computes_once():
+    graph = ArtifactGraph()
+    calls = []
+    for _ in range(3):
+        value = graph.resolve("analysis", "d1", compute=lambda: calls.append(1) or "A")
+        assert value == "A"
+    assert len(calls) == 1
+    counters = graph.counters["analysis"]
+    assert counters["computed"] == 1 and counters["hits"] == 2
+
+
+def test_none_is_a_legitimate_artifact_value():
+    """A persisted negative answer must not be recomputed on every lookup."""
+    graph = ArtifactGraph()
+    calls = []
+    for _ in range(2):
+        value = graph.resolve("compiled", "d1", compute=lambda: calls.append(1))
+        assert value is None
+    assert len(calls) == 1
+
+
+def test_store_tier_round_trip_with_codecs():
+    store = DictStore()
+    graph = ArtifactGraph(store=store)
+    value = graph.resolve(
+        "diagnosis", "d1", compute=lambda: {"roots": 1}, kind="diagnosis",
+        encode=lambda v: {"roots": v["roots"]},
+        decode=lambda payload: {"roots": int(payload["roots"])},
+    )
+    assert value == {"roots": 1}
+    assert store.writes == 1
+
+    # a second graph over the same store answers without computing
+    warm = ArtifactGraph(store=store)
+    reloaded = warm.resolve(
+        "diagnosis", "d1", compute=lambda: pytest.fail("must not compute"),
+        kind="diagnosis", decode=lambda payload: {"roots": int(payload["roots"])},
+    )
+    assert reloaded == {"roots": 1}
+    assert warm.counters["diagnosis"]["store_hits"] == 1
+
+
+def test_decode_failure_is_a_miss_not_an_answer():
+    store = DictStore()
+    store.put("d1", "diagnosis", {"garbage": True})
+    graph = ArtifactGraph(store=store)
+    value = graph.resolve(
+        "diagnosis", "d1", compute=lambda: "fresh", kind="diagnosis",
+        encode=lambda v: {"value": v},
+        decode=lambda payload: payload["roots"],  # KeyError -> miss
+    )
+    assert value == "fresh"
+    counters = graph.counters["diagnosis"]
+    assert counters["invalid"] == 1 and counters["computed"] == 1
+    # the recompute healed the stored object
+    assert store.objects[("d1", "diagnosis")] == {"value": "fresh"}
+
+
+def test_compute_failures_are_not_cached():
+    graph = ArtifactGraph()
+    attempts = []
+
+    def compute():
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise ValueError("transient")
+        return "ok"
+
+    with pytest.raises(ValueError):
+        graph.resolve("lts", "d1", compute=compute)
+    assert graph.resolve("lts", "d1", compute=compute) == "ok"
+    assert len(attempts) == 2
+
+
+def test_dependency_edges_are_recorded_and_invalidation_cascades():
+    graph = ArtifactGraph()
+
+    def component(digest):
+        return graph.resolve("analysis", digest, compute=lambda: f"analysis-{digest}")
+
+    def verdict():
+        return graph.resolve(
+            "verdict", "design",
+            compute=lambda: (component("c1"), component("c2"), "verdict"),
+        )
+
+    verdict()
+    assert graph.dependencies_of(("design", "verdict", "")) == (
+        ("c1", "analysis", ""),
+        ("c2", "analysis", ""),
+    )
+
+    # invalidating one component drops it AND the dependent verdict, not c2
+    dropped = graph.invalidate("c1")
+    assert dropped == 2
+    assert graph.counters["analysis"]["invalidated"] == 1
+    assert graph.counters["verdict"]["invalidated"] == 1
+    assert graph.nodes("analysis") == [(("c2", "analysis", ""), "analysis-c2")]
+
+    # re-resolving recomputes exactly the dropped nodes
+    verdict()
+    assert graph.counters["analysis"]["computed"] == 3  # c1, c2, c1 again
+    assert graph.counters["verdict"]["computed"] == 2
+
+
+def test_invalidate_unknown_digest_is_a_no_op():
+    graph = ArtifactGraph()
+    graph.resolve("analysis", "d1", compute=lambda: "A")
+    assert graph.invalidate("unknown") == 0
+    assert graph.counters["analysis"]["hits"] == 0
+
+
+def test_fingerprints_separate_alpha_variants_in_memory():
+    """Same digest + different fingerprint = distinct memory nodes."""
+    graph = ArtifactGraph()
+    first = graph.resolve("analysis", "d1", "spelling-a", compute=lambda: "A")
+    second = graph.resolve("analysis", "d1", "spelling-b", compute=lambda: "B")
+    assert (first, second) == ("A", "B")
+    assert graph.counters["analysis"]["computed"] == 2
+    # but invalidation by digest drops both spellings
+    assert graph.invalidate("d1") == 2
+
+
+def test_stats_are_json_safe_and_per_stage():
+    import json
+
+    store = DictStore()
+    graph = ArtifactGraph(store=store)
+    graph.resolve("compiled", "d1", kind="compiled",
+                  compute=lambda: "value", encode=lambda v: {"v": v})
+    payload = graph.stats()
+    assert json.dumps(payload)
+    assert payload["stages"]["compiled"]["stored"] == 1
+    assert payload["nodes"] == 1
+
+
+def test_verdict_kind_is_stable_and_query_sensitive():
+    kind = verdict_kind("non-blocking", "compiled", "[]")
+    assert kind.startswith("verdict-") and len(kind) == len("verdict-") + 16
+    assert kind == verdict_kind("non-blocking", "compiled", "[]")
+    assert kind != verdict_kind("non-blocking", "explicit", "[]")
+
+    # and it is the very kind the ArtifactStore files verdicts under
+    from repro.service.store import ArtifactStore
+
+    assert ArtifactStore.query_kind("non-blocking", "compiled", "[]") == kind

@@ -1,0 +1,77 @@
+"""F-GEN — the scenario generator: designs per second, differential throughput.
+
+Three measured scenarios, each a hard assertion plus a JSON record:
+
+1. *Generation throughput* — seeded designs sampled per second across the
+   full family mix (grammar sampling + topology wiring + normalization).
+   Generation must never be the bottleneck of a differential run.
+2. *Enumeration* — unique-expression enumeration at small depth: the
+   memoized enumerator must stay interactive for CLI/corpus use.
+3. *Differential throughput* — full 2-property × 4-method verdict matrices
+   per second over a seeded matrix: the number CI's differential job
+   budget is planned around.
+
+Run with:  pytest benchmarks/bench_gen.py
+(the timing assertions also run in the plain suite; CI uploads the JSON)
+"""
+
+from __future__ import annotations
+
+from _record import recorder, timed
+
+from repro.gen.differential import run_matrix
+from repro.gen.grammar import BOOL, Grammar
+from repro.gen.topologies import design_space
+
+RECORD = recorder("gen")
+
+GENERATION_SEEDS = 200
+DIFFERENTIAL_SEEDS = 40
+
+
+def test_generation_throughput():
+    designs, seconds = timed(lambda: list(design_space(range(GENERATION_SEEDS))))
+    assert len(designs) == GENERATION_SEEDS
+    per_second = len(designs) / max(seconds, 1e-9)
+    RECORD.record(
+        f"sample {GENERATION_SEEDS} designs (all families)",
+        seconds=seconds,
+        designs=len(designs),
+        designs_per_second=round(per_second),
+        components=sum(len(design.components) for design in designs),
+    )
+    assert per_second > 50, f"generation too slow: {per_second:.0f} designs/s"
+
+
+def test_enumeration_is_interactive():
+    # expression counts grow combinatorially with vocabulary size (3 signals
+    # at depth 2 already exceed 3M unique expressions), so the interactive
+    # benchmark pins the CLI-scale configuration: one signal, depth 2
+    grammar = Grammar()
+    vocabulary = {"a": "bool"}
+    expressions, seconds = timed(grammar.enumerate, BOOL, 2, vocabulary)
+    RECORD.record(
+        "enumerate bool@sync depth 2 over 1 signal",
+        seconds=seconds,
+        unique_expressions=len(expressions),
+    )
+    assert seconds < 30, f"depth-2 enumeration took {seconds:.1f}s"
+
+
+def test_differential_throughput():
+    report, seconds = timed(
+        run_matrix, range(DIFFERENTIAL_SEEDS), shrink_disagreements=False
+    )
+    assert report.designs == DIFFERENTIAL_SEEDS
+    assert report.agreed
+    per_second = report.designs / max(seconds, 1e-9)
+    RECORD.record(
+        f"differential matrix over {DIFFERENTIAL_SEEDS} designs "
+        "(2 properties x 4 methods)",
+        seconds=seconds,
+        designs=report.designs,
+        designs_per_second=round(per_second, 1),
+        formulation_gaps=len(report.gaps),
+    )
+    # CI runs 200 designs; they must fit comfortably in a job's budget
+    assert per_second > 1, f"differential too slow: {per_second:.2f} designs/s"

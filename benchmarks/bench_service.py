@@ -26,13 +26,18 @@ import asyncio
 import shutil
 import tempfile
 import time
+from pathlib import Path
 
 from _record import recorder, timed
 
+from repro.gen.corpus import Corpus, seed_store
 from repro.library.generators import pipeline_network
 from repro.service import ArtifactStore, VerificationService
 
 RECORD = recorder("service")
+
+#: the committed generator corpus: the mixed cold/warm query workload
+CORPUS_PATH = Path(__file__).resolve().parent.parent / "corpus" / "corpus.json"
 
 #: the acceptance scenario and its required warm-over-cold advantage
 ACCEPTANCE_SIZE = 8
@@ -160,6 +165,83 @@ def test_64_concurrent_duplicates_cost_one_computation():
         f"{FAN_OUT} coalesced queries took {elapsed:.4f}s vs "
         f"{single_seconds:.4f}s for one computation"
     )
+
+
+def test_corpus_driven_mixed_cold_warm_queries():
+    """A realistic query mix from the generator corpus, not a hand-rolled list.
+
+    The committed corpus (``corpus/corpus.json``) supplies both the designs
+    and the warm tier: the verdicts of every *even* entry are seeded into
+    the artifact store beforehand (``repro.gen.corpus.seed_store``), the odd
+    entries stay cold.  One service then answers one recorded query per
+    entry — warm entries must be pure store reads, and the seeded half must
+    be decisively cheaper than the computed half.
+    """
+    corpus = Corpus.load(CORPUS_PATH)
+    entries = corpus.entries[:24]
+    warm_entries = entries[0::2]
+    cold_entries = entries[1::2]
+    prop, method = "non-blocking", "explicit"
+
+    store_root = tempfile.mkdtemp(prefix="repro-bench-corpus-")
+    try:
+        seeded = seed_store(
+            Corpus(entries=list(warm_entries), max_states=corpus.max_states),
+            ArtifactStore(store_root),
+        )
+        service = VerificationService(store=ArtifactStore(store_root))
+        digests = {}
+        for entry in entries:
+            digest = service.register(
+                list(entry.regenerate().components), name=entry.name
+            )
+            assert digest == entry.digest, (
+                "corpus digests must address the service's designs"
+            )
+            digests[entry.name] = digest
+
+        def run(batch):
+            start = time.perf_counter()
+            for entry in batch:
+                verdict = service.verify_blocking(
+                    digests[entry.name], prop, method=method, **corpus.options()
+                )
+                assert verdict["holds"] == entry.holds(prop, method)
+            return time.perf_counter() - start
+
+        computed_before = service.computations
+        warm_seconds = run(warm_entries)
+        assert service.computations == computed_before, (
+            "warm corpus entries must be answered from the seeded store"
+        )
+        cold_seconds = run(cold_entries)
+        # distinct seeds can sample identical designs; repeat digests are
+        # LRU hits, so only the *distinct* cold digests cost a computation
+        warm_digests = {entry.digest for entry in warm_entries}
+        distinct_cold = {
+            entry.digest for entry in cold_entries
+        } - warm_digests
+        assert service.computations == computed_before + len(distinct_cold)
+        service.close()
+
+        RECORD.record(
+            f"corpus mixed workload ({len(warm_entries)} warm / "
+            f"{len(cold_entries)} cold, {prop} via {method})",
+            seconds=warm_seconds + cold_seconds,
+            warm_seconds=round(warm_seconds, 6),
+            cold_seconds=round(cold_seconds, 6),
+            verdicts_seeded=seeded,
+            speedup=round(
+                (cold_seconds / len(cold_entries))
+                / max(warm_seconds / len(warm_entries), 1e-9),
+                2,
+            ),
+        )
+        assert warm_seconds / len(warm_entries) < cold_seconds / len(cold_entries), (
+            "a seeded verdict must be cheaper than a computed one"
+        )
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
 
 
 def test_cached_throughput():

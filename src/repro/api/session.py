@@ -597,6 +597,28 @@ class Design:
         design.name = design._components[0].name
         return design
 
+    @classmethod
+    def from_generated(
+        cls, generated, context: Optional[AnalysisContext] = None
+    ) -> "Design":
+        """Build a design from a :class:`repro.gen.topologies.GeneratedDesign`.
+
+        The generated components become the design's components; the design
+        digest is then the content digest of exactly what the generator
+        produced (the generator's composition is the plain compose of its
+        components, so no custom ``composition=`` is needed — and the digest
+        stays equal to a design rebuilt from the components' printed
+        sources, which is what lets corpus entries re-address the same
+        verdict artifacts).  This is the bridge between the scenario
+        generator (:mod:`repro.gen`) and the verification facade —
+        differential runs, corpus entries and sweeps all go through here.
+        """
+        return cls(
+            name=generated.name,
+            components=list(generated.components),
+            context=context,
+        )
+
     # -- composition -------------------------------------------------------------
     def _coerce_component(
         self, process: ProcessLike, name: Optional[str] = None

@@ -1,0 +1,97 @@
+"""``repro.gen`` — grammar-driven scenario generation and differential testing.
+
+The subsystem has four layers, each usable on its own:
+
+* :mod:`repro.gen.grammar` — a typed grammar over the process language:
+  rules keyed by :class:`~repro.gen.grammar.Sort` (value kind × clock
+  class), depth-bounded unique enumeration, seeded sampling, whole-component
+  derivation (:func:`~repro.gen.grammar.sample_component`).
+* :mod:`repro.gen.topologies` — multi-component design families (pipelines,
+  stars, buffer chains, token rings, arbiter trees, crossbars, clock
+  dividers, mode automata, seeded-random networks) and the seeded design
+  sampler :func:`~repro.gen.topologies.sample_design`.
+* :mod:`repro.gen.differential` — every design through all four
+  verification backends, held to the documented per-property agreement
+  contract, with disagreements shrunk to minimal counterexamples.
+* :mod:`repro.gen.corpus` — the persisted corpus of designs + known
+  verdicts: regression oracle (:func:`~repro.gen.corpus.check_corpus`) and
+  warm-store seed (:func:`~repro.gen.corpus.seed_store`).
+
+``python -m repro.gen`` / ``repro-gen`` is the command-line entry point.
+"""
+
+from repro.gen.corpus import (
+    Corpus,
+    CorpusEntry,
+    Drift,
+    build_corpus,
+    build_entry,
+    check_corpus,
+    seed_store,
+)
+from repro.gen.differential import (
+    CONTRACTS,
+    METHODS,
+    PROPERTIES,
+    AgreementContract,
+    DifferentialReport,
+    DifferentialResult,
+    Disagreement,
+    FormulationGap,
+    ShrunkCounterexample,
+    run_design,
+    run_matrix,
+    shrink,
+    verdict_matrix,
+)
+from repro.gen.grammar import (
+    BOOL,
+    BOOL_SAMPLED,
+    NUM,
+    NUM_SAMPLED,
+    SORTS,
+    ComponentSpec,
+    Grammar,
+    Rule,
+    Sort,
+    build_component,
+    default_rules,
+    enumerate_components,
+    sample_component,
+)
+from repro.gen.topologies import (
+    FAMILIES,
+    GeneratedDesign,
+    arbiter_tree,
+    chain_of_buffers,
+    clock_divider,
+    crossbar,
+    design_space,
+    independent_components,
+    mode_automaton,
+    pipeline_network,
+    random_network,
+    sample_design,
+    star_network,
+    token_ring,
+)
+
+__all__ = [
+    # grammar
+    "Sort", "Rule", "Grammar", "ComponentSpec", "SORTS",
+    "BOOL", "NUM", "BOOL_SAMPLED", "NUM_SAMPLED",
+    "default_rules", "build_component", "sample_component", "enumerate_components",
+    # topologies
+    "FAMILIES", "GeneratedDesign", "sample_design", "design_space",
+    "independent_components", "pipeline_network", "star_network",
+    "chain_of_buffers", "token_ring", "arbiter_tree", "crossbar",
+    "clock_divider", "mode_automaton", "random_network",
+    # differential
+    "METHODS", "PROPERTIES", "CONTRACTS", "AgreementContract",
+    "Disagreement", "FormulationGap", "DifferentialResult",
+    "DifferentialReport", "ShrunkCounterexample",
+    "verdict_matrix", "run_design", "run_matrix", "shrink",
+    # corpus
+    "Corpus", "CorpusEntry", "Drift", "build_corpus", "build_entry",
+    "check_corpus", "seed_store",
+]

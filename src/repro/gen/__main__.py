@@ -1,0 +1,256 @@
+"""``python -m repro.gen`` / ``repro-gen`` — the scenario-generator CLI.
+
+Subcommands::
+
+    sample        --seed N [--count K] [--depth D] [--family F ...]
+                  [--verify] [--max-states N]
+    enumerate     --sort bool|num|bool@sampled|num@sampled --depth D
+                  [--signal name:kind ...] [--limit K]
+    differential  --seed N --count K [--depth D] [--max-states N]
+                  [--no-shrink]
+    corpus build  --out FILE --seed N --count K [--depth D] [--max-states N]
+    corpus check  --corpus FILE [--store DIR]
+    corpus seed-store --corpus FILE --store DIR
+
+Everything that draws randomness takes an explicit ``--seed``; the tool
+never consults wall-clock time, so a command line is a complete, replayable
+description of its output.  All outputs are JSON on stdout, one object per
+line, matching the ``repro-serve`` CLI convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.gen.corpus import Corpus, build_corpus, check_corpus, seed_store
+from repro.gen.differential import run_matrix
+from repro.gen.grammar import SORTS, Grammar
+from repro.gen.topologies import FAMILIES, design_space
+from repro.lang.printer import format_canonical, format_expression
+
+
+def _emit(payload: object) -> None:
+    json.dump(payload, sys.stdout)
+    sys.stdout.write("\n")
+
+
+def _seeds(arguments: argparse.Namespace) -> range:
+    return range(arguments.seed, arguments.seed + arguments.count)
+
+
+def _sample(arguments: argparse.Namespace) -> int:
+    from repro.api.session import Design
+
+    families = tuple(arguments.family) if arguments.family else FAMILIES
+    for generated in design_space(
+        _seeds(arguments), families=families, depth=arguments.depth
+    ):
+        design = Design.from_generated(generated)
+        record = {
+            "seed": generated.seed,
+            "name": generated.name,
+            "family": generated.family,
+            "params": dict(generated.params),
+            "components": len(generated.components),
+            "digest": design.digest(),
+        }
+        if arguments.verify:
+            record["verdicts"] = {
+                prop: bool(design.verify(prop, max_states=arguments.max_states).holds)
+                for prop in ("weak-endochrony", "non-blocking")
+            }
+        _emit(record)
+    return 0
+
+
+def _parse_sort(text: str):
+    for sort in SORTS:
+        if text in (str(sort), sort.kind if sort.clock == "sync" else None):
+            return sort
+    raise argparse.ArgumentTypeError(
+        f"unknown sort {text!r}; expected one of {', '.join(str(s) for s in SORTS)}"
+    )
+
+
+def _enumerate(arguments: argparse.Namespace) -> int:
+    vocabulary = {}
+    for item in arguments.signal or []:
+        name, _, kind = item.partition(":")
+        if kind not in ("bool", "num"):
+            raise SystemExit(f"--signal expects name:bool or name:num, got {item!r}")
+        vocabulary[name] = kind
+    grammar = Grammar()
+    expressions = grammar.enumerate(arguments.sort, arguments.depth, vocabulary)
+    limit = arguments.limit if arguments.limit is not None else len(expressions)
+    for expression in expressions[:limit]:
+        _emit({"expression": format_expression(expression)})
+    _emit(
+        {
+            "sort": str(arguments.sort),
+            "depth": arguments.depth,
+            "unique_expressions": len(expressions),
+            "printed": min(limit, len(expressions)),
+        }
+    )
+    return 0
+
+
+def _differential(arguments: argparse.Namespace) -> int:
+    report = run_matrix(
+        _seeds(arguments),
+        depth=arguments.depth,
+        max_states=arguments.max_states,
+        shrink_disagreements=not arguments.no_shrink,
+    )
+    for disagreement in report.disagreements:
+        _emit({"disagreement": disagreement.describe()})
+    for shrunk in report.shrunk:
+        _emit(
+            {
+                "shrunk": shrunk.disagreement.describe(),
+                "components": [
+                    format_canonical(component) for component in shrunk.components
+                ],
+            }
+        )
+    for gap in report.gaps:
+        _emit(
+            {
+                "formulation_gap": {
+                    "design": gap.design_name,
+                    "prop": gap.prop,
+                    "method": gap.method,
+                    "exact": gap.exact_verdict,
+                    "related": gap.related_verdict,
+                }
+            }
+        )
+    _emit(report.summary())
+    return 0 if report.agreed else 1
+
+
+def _corpus_build(arguments: argparse.Namespace) -> int:
+    corpus = build_corpus(
+        _seeds(arguments), depth=arguments.depth, max_states=arguments.max_states
+    )
+    path = corpus.save(arguments.out)
+    _emit({"corpus": str(path), "entries": len(corpus)})
+    return 0
+
+
+def _corpus_check(arguments: argparse.Namespace) -> int:
+    corpus = Corpus.load(arguments.corpus)
+    context = None
+    if arguments.store:
+        from repro.api.session import AnalysisContext
+        from repro.service.store import ArtifactStore
+
+        context = AnalysisContext()
+        context.artifact_cache = ArtifactStore(arguments.store)
+    drift = check_corpus(corpus, context=context)
+    for item in drift:
+        _emit({"drift": item.describe()})
+    _emit({"corpus": arguments.corpus, "entries": len(corpus), "drift": len(drift)})
+    return 0 if not drift else 1
+
+
+def _corpus_seed_store(arguments: argparse.Namespace) -> int:
+    from repro.service.store import ArtifactStore
+
+    corpus = Corpus.load(arguments.corpus)
+    written = seed_store(corpus, ArtifactStore(arguments.store))
+    _emit(
+        {
+            "corpus": arguments.corpus,
+            "store": arguments.store,
+            "verdicts_written": written,
+        }
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gen",
+        description="Typed grammar-driven design generator with differential testing",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def _seeded(command: argparse.ArgumentParser, count_default: int = 1) -> None:
+        command.add_argument("--seed", type=int, required=True, help="first seed")
+        command.add_argument(
+            "--count", type=int, default=count_default,
+            help="how many consecutive seeds to draw",
+        )
+        command.add_argument("--depth", type=int, default=2, help="grammar depth bound")
+
+    sample = commands.add_parser("sample", help="draw seeded designs")
+    _seeded(sample)
+    sample.add_argument(
+        "--family", action="append", choices=FAMILIES,
+        help="restrict to specific families (repeatable)",
+    )
+    sample.add_argument("--verify", action="store_true", help="also verify each design")
+    sample.add_argument("--max-states", type=int, default=256)
+    sample.set_defaults(handler=_sample)
+
+    enumerate_ = commands.add_parser(
+        "enumerate", help="enumerate unique grammar expressions of a sort"
+    )
+    enumerate_.add_argument("--sort", type=_parse_sort, required=True)
+    enumerate_.add_argument("--depth", type=int, default=1)
+    enumerate_.add_argument(
+        "--signal", action="append", help="vocabulary entry name:bool or name:num"
+    )
+    enumerate_.add_argument("--limit", type=int, default=20)
+    # symmetry with the other subcommands: enumeration is deterministic, the
+    # seed does not change the output but a fixed interface keeps scripts uniform
+    enumerate_.add_argument("--seed", type=int, default=0, help=argparse.SUPPRESS)
+    enumerate_.set_defaults(handler=_enumerate)
+
+    differential = commands.add_parser(
+        "differential", help="run the differential matrix over seeded designs"
+    )
+    _seeded(differential, count_default=50)
+    differential.add_argument("--max-states", type=int, default=256)
+    differential.add_argument(
+        "--no-shrink", action="store_true", help="skip counterexample shrinking"
+    )
+    differential.set_defaults(handler=_differential)
+
+    corpus = commands.add_parser("corpus", help="build / check the design corpus")
+    corpus_commands = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    corpus_build = corpus_commands.add_parser("build", help="verify designs and save")
+    _seeded(corpus_build, count_default=50)
+    corpus_build.add_argument("--out", required=True, help="corpus JSON path")
+    corpus_build.add_argument("--max-states", type=int, default=256)
+    corpus_build.set_defaults(handler=_corpus_build)
+
+    corpus_check = corpus_commands.add_parser(
+        "check", help="regenerate and re-verify, failing on drift"
+    )
+    corpus_check.add_argument("--corpus", required=True, help="corpus JSON path")
+    corpus_check.add_argument("--store", help="artifact store to answer queries warm")
+    corpus_check.add_argument("--seed", type=int, default=0, help=argparse.SUPPRESS)
+    corpus_check.set_defaults(handler=_corpus_check)
+
+    corpus_seed = corpus_commands.add_parser(
+        "seed-store", help="file recorded verdicts into an artifact store"
+    )
+    corpus_seed.add_argument("--corpus", required=True)
+    corpus_seed.add_argument("--store", required=True)
+    corpus_seed.add_argument("--seed", type=int, default=0, help=argparse.SUPPRESS)
+    corpus_seed.set_defaults(handler=_corpus_seed_store)
+    return parser
+
+
+def main(argv=None) -> int:
+    arguments = build_parser().parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -174,6 +174,66 @@ def format_primitive_equation(equation: PrimitiveEquation) -> str:
     raise TypeError(f"unsupported primitive equation: {equation!r}")
 
 
+def _surface_primitive_equation(equation: PrimitiveEquation) -> str:
+    """One primitive equation as re-parseable Signal surface syntax."""
+    if isinstance(equation, FunctionEquation):
+        rendered = [
+            operand if isinstance(operand, str) else format_constant(operand.value)
+            for operand in equation.operands
+        ]
+        if equation.operator == "id":
+            return f"{equation.target} := {rendered[0]}"
+        if len(rendered) == 1:
+            return f"{equation.target} := ({equation.operator} {rendered[0]})"
+        return f"{equation.target} := ({rendered[0]} {equation.operator} {rendered[1]})"
+    if isinstance(equation, DelayEquation):
+        return (
+            f"{equation.target} := "
+            f"({equation.source} pre {format_constant(equation.initial)})"
+        )
+    if isinstance(equation, SamplingEquation):
+        source = (
+            equation.source
+            if isinstance(equation.source, str)
+            else format_constant(equation.source.value)
+        )
+        return f"{equation.target} := ({source} when {equation.condition})"
+    if isinstance(equation, MergeEquation):
+        return (
+            f"{equation.target} := "
+            f"({equation.preferred} default {equation.alternative})"
+        )
+    if isinstance(equation, ClockEquation):
+        return f"{format_clock(equation.left)} = {format_clock(equation.right)}"
+    raise TypeError(f"unsupported primitive equation: {equation!r}")
+
+
+def format_normalized_source(process: NormalizedProcess) -> str:
+    """Render a normalized process as **re-parseable** Signal source.
+
+    Every primitive equation has a surface-syntax equivalent, so a
+    normalized process — unlike an arbitrary analysis artifact — can be
+    printed back into the language:
+    ``normalize(parse_process(format_normalized_source(p)))`` re-derives
+    the same primitive equations and therefore the same
+    :func:`process_digest` as ``p``.  This is what lets *generated* designs
+    (whose components exist only in normalized form) round-trip through
+    the printer and parser like hand-written library sources do, and what
+    makes corpus entries inspectable as source rather than only as
+    canonical-form text.
+    """
+    inputs = ", ".join(process.inputs)
+    outputs = ", ".join(process.outputs)
+    lines: List[str] = [f"process {process.name} ({inputs}) returns ({outputs}) {{"]
+    if process.locals:
+        lines.append(f"  local {', '.join(process.locals)};")
+    lines.extend(
+        f"  {_surface_primitive_equation(equation)};" for equation in process.equations
+    )
+    lines.append("}")
+    return "\n".join(lines)
+
+
 def format_normalized_process(process: NormalizedProcess) -> str:
     """Render a normalized process: interface followed by its primitive equations."""
     lines = [

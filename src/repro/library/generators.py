@@ -1,11 +1,11 @@
-"""Scalable synthetic networks of endochronous components.
+"""Scalable synthetic networks of endochronous components (compatibility shim).
 
-The paper's central claim is qualitative: the static weakly-hierarchic
-criterion scales where model-checking weak endochrony does not, because the
-latter explores a state/reaction space that grows exponentially with the
-number of independently clocked components.  These generators produce
-families of networks parameterized by their size so that the benchmarks can
-sweep that dimension:
+The generator families that used to live here — the size-parameterized
+benchmark networks the paper's scalability argument sweeps over — are now
+grammar-level primitives of :mod:`repro.gen.topologies`, alongside the
+richer families (token rings, arbiter trees, crossbars, clock dividers,
+mode automata) and the seeded design sampler.  This module re-exports the
+historical names so existing imports keep working:
 
 * :func:`independent_components` — ``n`` unconnected endochronous counters;
 * :func:`pipeline_network` — a chain of ``n`` relay components, each paced by
@@ -17,97 +17,16 @@ sweep that dimension:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from repro.gen.topologies import (
+    chain_of_buffers,
+    independent_components,
+    pipeline_network,
+    star_network,
+)
 
-from repro.lang.ast import ProcessDefinition
-from repro.lang.builder import ProcessBuilder, const, signal, tick, when_true
-from repro.lang.normalize import NormalizedProcess, normalize
-from repro.library.basic import buffer_process
-
-
-def _counter_component(index: int) -> ProcessDefinition:
-    """An endochronous counter paced by its own boolean activation input."""
-    activation = f"c{index}"
-    output = f"u{index}"
-    builder = ProcessBuilder(f"counter{index}", inputs=[activation], outputs=[output])
-    builder.constrain(tick(output), when_true(activation))
-    builder.define(output, const(1) + signal(output).pre(0))
-    return builder.build()
-
-
-def independent_components(count: int) -> Tuple[List[NormalizedProcess], NormalizedProcess]:
-    """``count`` endochronous counters with no shared signal."""
-    components = [normalize(_counter_component(index)) for index in range(count)]
-    composition = components[0]
-    for component in components[1:]:
-        composition = composition.compose(component)
-    composition.name = f"independent_{count}"
-    return components, composition
-
-
-def _relay_component(index: int, input_signal: str, output_signal: str) -> ProcessDefinition:
-    """A relay adding one to its input, paced by its own activation input."""
-    activation = f"c{index}"
-    builder = ProcessBuilder(
-        f"relay{index}", inputs=[activation, input_signal], outputs=[output_signal]
-    )
-    builder.constrain(tick(input_signal), when_true(activation))
-    builder.define(output_signal, signal(input_signal) + const(1))
-    return builder.build()
-
-
-def pipeline_network(length: int) -> Tuple[List[NormalizedProcess], NormalizedProcess]:
-    """A chain of ``length`` relays; stage ``i`` feeds stage ``i + 1``.
-
-    Every stage is endochronous (rooted at its activation input); the
-    composition is multi-rooted and exhibits one reported clock constraint
-    ``[c_i] = [c_{i+1}]`` per connection, exactly the situation the
-    compositional criterion is designed for.
-    """
-    components: List[NormalizedProcess] = []
-    for index in range(length):
-        input_signal = "x0" if index == 0 else f"x{index}"
-        output_signal = f"x{index + 1}"
-        components.append(normalize(_relay_component(index, input_signal, output_signal)))
-    composition = components[0]
-    for component in components[1:]:
-        composition = composition.compose(component)
-    composition.name = f"pipeline_{length}"
-    return components, composition
-
-
-def star_network(branches: int) -> Tuple[List[NormalizedProcess], NormalizedProcess]:
-    """A source feeding ``branches`` independent consumers of its output."""
-    source_builder = ProcessBuilder("source", inputs=["c0"], outputs=["x"])
-    source_builder.constrain(tick("x"), when_true("c0"))
-    source_builder.define("x", const(1) + signal("x").pre(0))
-    components = [normalize(source_builder.build())]
-    for index in range(1, branches + 1):
-        consumer_builder = ProcessBuilder(
-            f"sink{index}", inputs=[f"c{index}", "x"], outputs=[f"y{index}"]
-        )
-        consumer_builder.constrain(tick("x"), when_true(f"c{index}"))
-        consumer_builder.define(f"y{index}", signal("x") + const(index))
-        components.append(normalize(consumer_builder.build()))
-    composition = components[0]
-    for component in components[1:]:
-        composition = composition.compose(component)
-    composition.name = f"star_{branches}"
-    return components, composition
-
-
-def chain_of_buffers(length: int) -> Tuple[List[NormalizedProcess], NormalizedProcess]:
-    """``length`` one-place buffers in sequence (a generalized LTTA bus)."""
-    components: List[NormalizedProcess] = []
-    for index in range(length):
-        input_signal = "y0" if index == 0 else f"y{index}"
-        output_signal = f"y{index + 1}"
-        definition = buffer_process(
-            name=f"buffer{index}", input_name=input_signal, output_name=output_signal
-        )
-        components.append(normalize(definition))
-    composition = components[0]
-    for component in components[1:]:
-        composition = composition.compose(component)
-    composition.name = f"buffer_chain_{length}"
-    return components, composition
+__all__ = [
+    "independent_components",
+    "pipeline_network",
+    "star_network",
+    "chain_of_buffers",
+]

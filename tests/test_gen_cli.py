@@ -1,0 +1,101 @@
+"""The ``repro-gen`` command line: every subcommand, in process."""
+
+import json
+
+import pytest
+
+from repro.gen.__main__ import main
+
+
+def _lines(capsys):
+    return [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+
+
+class TestSample:
+    def test_sample_emits_one_record_per_seed(self, capsys):
+        assert main(["sample", "--seed", "0", "--count", "3"]) == 0
+        records = _lines(capsys)
+        assert len(records) == 3
+        assert [r["seed"] for r in records] == [0, 1, 2]
+        assert all(r["digest"] for r in records)
+
+    def test_sample_is_deterministic(self, capsys):
+        main(["sample", "--seed", "12"])
+        first = _lines(capsys)
+        main(["sample", "--seed", "12"])
+        assert first == _lines(capsys)
+
+    def test_sample_family_restriction(self, capsys):
+        main(["sample", "--seed", "0", "--count", "4", "--family", "ring"])
+        assert {r["family"] for r in _lines(capsys)} == {"ring"}
+
+    def test_sample_verify(self, capsys):
+        main(["sample", "--seed", "1", "--verify"])
+        (record,) = _lines(capsys)
+        assert set(record["verdicts"]) == {"weak-endochrony", "non-blocking"}
+
+
+class TestEnumerate:
+    def test_enumerate_reports_unique_count(self, capsys):
+        assert main(
+            ["enumerate", "--sort", "bool", "--depth", "1",
+             "--signal", "a:bool", "--limit", "5"]
+        ) == 0
+        records = _lines(capsys)
+        assert len(records) == 6  # 5 expressions + the summary line
+        summary = records[-1]
+        assert summary["unique_expressions"] > 5
+        assert summary["printed"] == 5
+
+    def test_enumerate_rejects_bad_signal(self):
+        with pytest.raises(SystemExit):
+            main(["enumerate", "--sort", "bool", "--signal", "a:string"])
+
+
+class TestDifferential:
+    def test_differential_agrees_on_a_small_matrix(self, capsys):
+        assert main(
+            ["differential", "--seed", "0", "--count", "8", "--no-shrink"]
+        ) == 0
+        summary = _lines(capsys)[-1]
+        assert summary["designs"] == 8
+        assert summary["agreed"] is True
+
+
+class TestCorpus:
+    def test_corpus_build_then_check(self, capsys, tmp_path):
+        path = str(tmp_path / "corpus.json")
+        assert main(
+            ["corpus", "build", "--out", path, "--seed", "0", "--count", "3"]
+        ) == 0
+        assert _lines(capsys)[-1]["entries"] == 3
+        assert main(["corpus", "check", "--corpus", path]) == 0
+        assert _lines(capsys)[-1]["drift"] == 0
+
+    def test_corpus_check_fails_on_drift(self, capsys, tmp_path):
+        path = tmp_path / "corpus.json"
+        main(["corpus", "build", "--out", str(path), "--seed", "0", "--count", "1"])
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        key = next(iter(payload["entries"][0]["verdicts"]))
+        payload["entries"][0]["verdicts"][key]["holds"] = not payload["entries"][0][
+            "verdicts"
+        ][key]["holds"]
+        path.write_text(json.dumps(payload))
+        assert main(["corpus", "check", "--corpus", str(path)]) == 1
+        records = _lines(capsys)
+        assert any("drift" in record and isinstance(record["drift"], str) for record in records)
+
+    def test_corpus_seed_store(self, capsys, tmp_path):
+        corpus_path = str(tmp_path / "corpus.json")
+        store_path = str(tmp_path / "store")
+        main(["corpus", "build", "--out", corpus_path, "--seed", "0", "--count", "2"])
+        capsys.readouterr()
+        assert main(
+            ["corpus", "seed-store", "--corpus", corpus_path, "--store", store_path]
+        ) == 0
+        assert _lines(capsys)[-1]["verdicts_written"] == 16
+        # a warm check through the seeded store stays clean
+        assert main(
+            ["corpus", "check", "--corpus", corpus_path, "--store", store_path]
+        ) == 0

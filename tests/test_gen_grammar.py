@@ -1,0 +1,169 @@
+"""The typed grammar: sorts, rules, enumeration, seeded sampling, components."""
+
+import random
+
+import pytest
+
+from repro.gen.grammar import (
+    BOOL,
+    BOOL_SAMPLED,
+    NUM,
+    NUM_SAMPLED,
+    SORTS,
+    ComponentSpec,
+    Grammar,
+    Sort,
+    build_component,
+    enumerate_components,
+    sample_component,
+)
+from repro.lang.ast import Expression, When
+from repro.lang.normalize import infer_types, normalize
+from repro.lang.parser import parse_process
+from repro.lang.printer import format_process, process_digest
+from repro.properties.compilable import ProcessAnalysis
+
+VOCABULARY = {"a": "bool", "b": "bool", "n": "num"}
+
+
+class TestSorts:
+    def test_sort_validates_kind_and_clock(self):
+        with pytest.raises(ValueError):
+            Sort("string")
+        with pytest.raises(ValueError):
+            Sort("bool", "syncopated")
+
+    def test_the_four_sorts_are_distinct(self):
+        assert len(set(SORTS)) == 4
+
+
+class TestEnumeration:
+    def test_terminals_are_typed_references_plus_constants(self):
+        grammar = Grammar()
+        bools = grammar.terminals(BOOL, VOCABULARY)
+        names = {getattr(t, "name", None) for t in bools}
+        assert {"a", "b"} <= names and "n" not in names
+        # constants too (true/false for bool)
+        assert len(bools) == 4
+
+    def test_sampled_sorts_have_no_terminals(self):
+        grammar = Grammar()
+        assert grammar.terminals(BOOL_SAMPLED, VOCABULARY) == ()
+        assert grammar.terminals(NUM_SAMPLED, VOCABULARY) == ()
+
+    def test_enumeration_is_unique(self):
+        grammar = Grammar()
+        expressions = grammar.enumerate(BOOL, 1, VOCABULARY)
+        assert len(expressions) == len(set(expressions))
+
+    def test_exact_depth_levels_are_disjoint(self):
+        grammar = Grammar()
+        level0 = set(grammar.enumerate_exact(NUM, 0, VOCABULARY))
+        level1 = set(grammar.enumerate_exact(NUM, 1, VOCABULARY))
+        assert level0 and level1
+        assert not (level0 & level1)
+
+    def test_enumeration_is_deterministic(self):
+        assert (
+            Grammar().enumerate(BOOL, 1, VOCABULARY)
+            == Grammar().enumerate(BOOL, 1, VOCABULARY)
+        )
+
+    def test_sampled_expressions_are_whens(self):
+        grammar = Grammar()
+        for expression in grammar.enumerate(BOOL_SAMPLED, 1, VOCABULARY):
+            assert isinstance(expression, When)
+
+    def test_count_matches_enumerate(self):
+        grammar = Grammar()
+        assert grammar.count(NUM, 1, VOCABULARY) == len(
+            grammar.enumerate(NUM, 1, VOCABULARY)
+        )
+
+
+class TestSampling:
+    def test_same_seed_same_expression(self):
+        grammar = Grammar()
+        first = grammar.sample(BOOL, VOCABULARY, random.Random(42), max_depth=3)
+        second = grammar.sample(BOOL, VOCABULARY, random.Random(42), max_depth=3)
+        assert first == second
+
+    def test_sampled_expressions_are_expressions(self):
+        grammar = Grammar()
+        rng = random.Random(7)
+        for _ in range(50):
+            sort = SORTS[rng.randrange(2)]  # sync sorts only at depth 0
+            expression = grammar.sample(sort, VOCABULARY, rng, max_depth=3)
+            assert isinstance(expression, Expression)
+
+    def test_sample_referencing_always_references_a_signal(self):
+        grammar = Grammar()
+        rng = random.Random(3)
+        for _ in range(50):
+            expression = grammar.sample_referencing(NUM, VOCABULARY, rng, max_depth=2)
+            assert expression.free_signals()
+
+    def test_sampled_sort_needs_depth(self):
+        grammar = Grammar()
+        with pytest.raises(ValueError):
+            grammar.sample(NUM_SAMPLED, VOCABULARY, random.Random(0), max_depth=0)
+
+
+SPEC = ComponentSpec(
+    name="unit",
+    inputs=(("x", "num"), ("g", "bool")),
+    outputs=(("y", NUM), ("p", BOOL_SAMPLED)),
+    depth=2,
+)
+
+
+class TestComponents:
+    def test_sample_component_is_deterministic(self):
+        first = sample_component(SPEC, random.Random(11))
+        second = sample_component(SPEC, random.Random(11))
+        assert process_digest(normalize(first)) == process_digest(normalize(second))
+
+    def test_component_shape(self):
+        definition = sample_component(SPEC, random.Random(5))
+        assert definition.inputs == ("unit_go", "x", "g")
+        assert definition.outputs == ("y", "p")
+
+    def test_components_are_well_typed_and_analyzable(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            definition = sample_component(SPEC, rng)
+            normalized = normalize(definition)
+            types = infer_types(normalized)
+            assert types["y"] == "num"
+            analysis = ProcessAnalysis(normalized)
+            assert analysis.summary()  # analysis completes
+
+    def test_component_roundtrips_through_printer_and_parser(self):
+        rng = random.Random(23)
+        for _ in range(10):
+            definition = sample_component(SPEC, rng)
+            reparsed = parse_process(format_process(definition))
+            assert process_digest(normalize(reparsed)) == process_digest(
+                normalize(definition)
+            )
+
+    def test_enumerate_components_unique_and_limited(self):
+        spec = ComponentSpec(
+            name="tiny", inputs=(("v", "bool"),), outputs=(("w", BOOL),),
+            state=False, depth=1,
+        )
+        produced = list(enumerate_components(spec, limit=25))
+        assert len(produced) == 25
+        digests = {process_digest(normalize(d)) for d in produced}
+        assert len(digests) == 25
+
+    def test_build_component_anchors_sync_outputs(self):
+        spec = ComponentSpec(
+            name="anchored", inputs=(("v", "num"),), outputs=(("w", NUM),),
+            state=False, depth=1,
+        )
+        definition = sample_component(spec, random.Random(1))
+        normalized = normalize(definition)
+        analysis = ProcessAnalysis(normalized)
+        # single activation-rooted clock hierarchy: the endochronous shape
+        assert analysis.is_hierarchic()

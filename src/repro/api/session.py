@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.artifacts import ArtifactGraph, verdict_kind
+from repro.bdd.backend import create_manager, resolve_backend
 from repro.bdd.bdd import BDDManager
 from repro.lang.ast import Composition, Instantiation, ProcessDefinition, Restriction, Statement
 from repro.lang.builder import ProcessBuilder
@@ -90,8 +91,18 @@ class AnalysisContext:
         registry: Optional[Mapping[str, ProcessDefinition]] = None,
         manager: Optional[BDDManager] = None,
         artifact_cache: Optional[object] = None,
+        bdd_backend: Optional[str] = None,
     ):
-        self.manager = manager or BDDManager()
+        #: resolved BDD kernel name (argument > ``REPRO_BDD_BACKEND`` > default)
+        #: used for the shared clock-calculus manager and every private
+        #: compiled-relation manager this context creates.  An explicitly
+        #: passed ``manager`` wins over the name for the shared manager.
+        self.bdd_backend = (
+            getattr(manager, "backend_name", None)
+            if manager is not None
+            else resolve_backend(bdd_backend)
+        )
+        self.manager = manager or create_manager(backend=self.bdd_backend)
         #: the artifact graph every stage of this context resolves through
         self.graph = ArtifactGraph(store=artifact_cache)
         self.registry: Dict[str, ProcessDefinition] = dict(registry or {})
@@ -280,7 +291,9 @@ class AnalysisContext:
                 if hierarchy_from_analysis
                 else hierarchy
             )
-            return CompiledAbstraction.try_compile(normalized_process, seed)
+            return CompiledAbstraction.try_compile(
+                normalized_process, seed, backend=self.bdd_backend
+            )
 
         return self.graph.resolve(
             "compiled",
@@ -289,7 +302,9 @@ class AnalysisContext:
             kind="compiled",
             compute=compute,
             encode=lambda value: compiled_artifact_payload(normalized_process, value),
-            decode=lambda payload: compiled_from_artifact(normalized_process, payload),
+            decode=lambda payload: compiled_from_artifact(
+                normalized_process, payload, backend=self.bdd_backend
+            ),
             keep=(normalized_process,),
         )
 
@@ -448,6 +463,7 @@ class AnalysisContext:
                 1 for _key, value in self.graph.nodes("compiled") if value is not None
             ),
             "bdd_variables": len(self.manager.variables()),
+            "bdd_backend": self.bdd_backend,
             "stages": graph_stats["stages"],
             "nodes": graph_stats["nodes"],
         }
@@ -520,9 +536,10 @@ class Design:
         context: Optional[AnalysisContext] = None,
         registry: Optional[Mapping[str, ProcessDefinition]] = None,
         composition: Optional[ProcessLike] = None,
+        bdd_backend: Optional[str] = None,
     ):
         self.name = name
-        self.context = context or AnalysisContext()
+        self.context = context or AnalysisContext(bdd_backend=bdd_backend)
         if registry:
             self.context.register(registry)
         self._components: List[NormalizedProcess] = []
@@ -556,6 +573,7 @@ class Design:
         name: Optional[str] = None,
         components: Optional[Sequence[str]] = None,
         context: Optional[AnalysisContext] = None,
+        bdd_backend: Optional[str] = None,
     ) -> "Design":
         """Build a design from Signal source text.
 
@@ -565,7 +583,7 @@ class Design:
         not instantiated by any other process of the program.
         """
         definitions = parse_program(source)
-        context = context or AnalysisContext()
+        context = context or AnalysisContext(bdd_backend=bdd_backend)
         context.register(definitions)
         if components is not None:
             missing = [n for n in components if n not in definitions]

@@ -128,6 +128,9 @@ class BDD:
     def satisfy_all(self, variables: Optional[Sequence[str]] = None) -> Iterator[Dict[str, bool]]:
         return self.manager.satisfy_all(self, variables)
 
+    def satisfy_matrix(self, variables: Sequence[str]) -> List[List[bool]]:
+        return self.manager.satisfy_matrix(self, variables)
+
     def count(self, variables: Optional[Sequence[str]] = None) -> int:
         return self.manager.count(self, variables)
 
@@ -159,7 +162,21 @@ class BDD:
 
 
 class BDDManager:
-    """Owner of the unique table, the computed-table cache and the variable order."""
+    """Owner of the unique table, the computed-table cache and the variable order.
+
+    This class is also the *reference backend* of the pluggable-kernel
+    protocol (see :mod:`repro.bdd.backend`): every public method here is
+    part of the :class:`~repro.bdd.backend.BDDBackend` contract, and the
+    vectorized :class:`~repro.bdd.array_backend.ArrayBackend` subclasses it,
+    overriding only the hot paths.  Anything observable — satisfying
+    assignments and their order, :meth:`dump` payload bytes, reordering
+    decisions — must stay identical across backends; the
+    backend-differential suite (``tests/test_backend_differential.py``)
+    enforces that.
+    """
+
+    #: registry name of this implementation (subclasses override)
+    backend_name = "reference"
 
     FALSE_INDEX = 0
     TRUE_INDEX = 1
@@ -529,6 +546,23 @@ class BDDManager:
 
         yield from walk(node.index, 0)
 
+    def satisfy_matrix(self, node: BDD, variables: Sequence[str]) -> List[List[bool]]:
+        """All satisfying assignments as rows of booleans, columns = ``variables``.
+
+        Row ``i`` is exactly the ``i``-th assignment :meth:`satisfy_all`
+        yields (same values, same order — the output-order contract the
+        backend-differential suite pins), decoded positionally instead of
+        into dicts; bulk consumers like the compiled reaction sweep index
+        columns once instead of hashing variable names per solution.  The
+        reference implementation *is* the satisfy_all walk; vectorized
+        backends override this with a level-synchronized array expansion.
+        """
+        names = tuple(variables)
+        return [
+            [assignment[name] for name in names]
+            for assignment in self.satisfy_all(node, names)
+        ]
+
     def count(self, node: BDD, variables: Optional[Sequence[str]] = None) -> int:
         """Number of satisfying assignments over ``variables`` (default: support)."""
         names = tuple(variables) if variables is not None else tuple(sorted(self.support(node)))
@@ -589,30 +623,37 @@ class BDDManager:
         """A JSON-safe snapshot of the graphs reachable from ``roots``.
 
         The payload records the variable order and the reachable nodes as
-        ``[level, low, high]`` triples in ascending index order (children
-        always precede parents, the invariant the loader relies on), plus
-        the root indices.  Unreachable nodes are not serialized, so a dump
-        after heavy intermediate computation is as small as a dump after
-        :meth:`collect_garbage`.
+        ``[level, low, high]`` triples in *canonical* order — a depth-first
+        postorder from the roots, low child before high child — plus the
+        root indices.  Children always precede their parents (the invariant
+        the loader relies on), and the order is a function of the root
+        *functions* alone, never of internal node-index assignment: two
+        managers denoting the same functions under the same variable order
+        produce byte-identical payloads regardless of how their unique
+        tables were populated.  That is what keeps artifact digests stable
+        across backends (a vectorized kernel interns nodes in a different
+        order than the recursive reference).  Unreachable nodes are not
+        serialized, so a dump after heavy intermediate computation is as
+        small as a dump after :meth:`collect_garbage`.
         """
-        marked: Set[int] = {self.FALSE_INDEX, self.TRUE_INDEX}
-        stack = [root.index for root in roots]
-        while stack:
-            index = stack.pop()
-            if index in marked:
-                continue
-            marked.add(index)
-            stack.append(self._lows[index])
-            stack.append(self._highs[index])
         remap: Dict[int, int] = {self.FALSE_INDEX: 0, self.TRUE_INDEX: 1}
+        scheduled: Set[int] = set()
         nodes: List[List[int]] = []
-        for index in range(2, len(self._levels)):
-            if index not in marked:
+        stack: List[Tuple[int, bool]] = [(root.index, False) for root in reversed(roots)]
+        while stack:
+            index, expand = stack.pop()
+            if index in remap:
                 continue
-            remap[index] = len(nodes) + 2
-            nodes.append(
-                [self._levels[index], remap[self._lows[index]], remap[self._highs[index]]]
-            )
+            if expand:
+                remap[index] = len(nodes) + 2
+                nodes.append(
+                    [self._levels[index], remap[self._lows[index]], remap[self._highs[index]]]
+                )
+            elif index not in scheduled:
+                scheduled.add(index)
+                stack.append((index, True))
+                stack.append((self._highs[index], False))
+                stack.append((self._lows[index], False))
         return {
             "variables": list(self._names),
             "nodes": nodes,

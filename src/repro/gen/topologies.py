@@ -48,6 +48,29 @@ from repro.lang.normalize import NormalizedProcess, normalize
 
 Family = Tuple[List[NormalizedProcess], NormalizedProcess]
 
+#: the public surface — mirrored verbatim by the historical
+#: ``repro.library.generators`` shim (pinned by ``tests/test_generators_and_library.py``)
+__all__ = [
+    "Family",
+    "FAMILIES",
+    "GeneratedDesign",
+    "arbiter_component",
+    "arbiter_tree",
+    "chain_of_buffers",
+    "clock_divider",
+    "crossbar",
+    "design_space",
+    "divider_stage",
+    "independent_components",
+    "mode_automaton",
+    "mode_automaton_component",
+    "pipeline_network",
+    "random_network",
+    "sample_design",
+    "star_network",
+    "token_ring",
+]
+
 
 def _compose(
     components: Sequence[NormalizedProcess], name: str

@@ -4,29 +4,36 @@ The generator families that used to live here — the size-parameterized
 benchmark networks the paper's scalability argument sweeps over — are now
 grammar-level primitives of :mod:`repro.gen.topologies`, alongside the
 richer families (token rings, arbiter trees, crossbars, clock dividers,
-mode automata) and the seeded design sampler.  This module re-exports the
-historical names so existing imports keep working:
+mode automata) and the seeded design sampler.
 
-* :func:`independent_components` — ``n`` unconnected endochronous counters;
-* :func:`pipeline_network` — a chain of ``n`` relay components, each paced by
-  its own activation input and connected to the next by a shared signal;
-* :func:`star_network` — one source feeding ``n`` consumers;
-* :func:`chain_of_buffers` — ``n`` one-place buffers in sequence (the LTTA
-  bus generalized).
+This module lazily re-exports **everything** :mod:`repro.gen.topologies`
+declares public, via module ``__getattr__`` (PEP 562): the export set is
+read from ``repro.gen.topologies.__all__`` at lookup time, so the shim can
+never drift from the real module — a family added there is immediately
+importable from here, with no import cost until a name is actually touched
+(``tests/test_generators_and_library.py`` pins the two ``__all__`` lists
+equal).
 """
 
 from __future__ import annotations
 
-from repro.gen.topologies import (
-    chain_of_buffers,
-    independent_components,
-    pipeline_network,
-    star_network,
-)
+from typing import List
 
-__all__ = [
-    "independent_components",
-    "pipeline_network",
-    "star_network",
-    "chain_of_buffers",
-]
+
+def _topologies():
+    from repro.gen import topologies
+
+    return topologies
+
+
+def __getattr__(name: str):
+    if name == "__all__":
+        return list(_topologies().__all__)
+    topologies = _topologies()
+    if name in topologies.__all__:
+        return getattr(topologies, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_topologies().__all__))

@@ -31,8 +31,9 @@ fragment — :func:`compilation_obstacles` names the offending equations and
 :meth:`CompiledAbstraction.try_compile` returns ``None`` so callers fall
 back to the interpreter-backed enumeration transparently.
 
-The compiled step relation lives on a **private** :class:`BDDManager` whose
-variable order is seeded from the clock hierarchy (registers interleaved
+The compiled step relation lives on a **private** manager (any registered
+:mod:`repro.bdd.backend` kernel; ``backend=`` or ``REPRO_BDD_BACKEND``
+selects it) whose variable order is seeded from the clock hierarchy (registers interleaved
 current/next first, then signals forest-ordered with each ``e·x`` adjacent
 to its ``d·x``); after compilation the manager sheds its intermediate
 conjuncts (:meth:`~repro.bdd.bdd.BDDManager.collect_garbage`) and — for
@@ -48,6 +49,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.bdd.backend import create_manager, load_manager
 from repro.bdd.bdd import BDD, BDDManager
 from repro.clocks.hierarchy import ClockHierarchy, build_hierarchy
 from repro.lang.ast import (
@@ -200,6 +202,7 @@ class CompiledAbstraction:
         hierarchy: Optional[ClockHierarchy] = None,
         cross_check: bool = False,
         sift_threshold: int = SIFT_THRESHOLD,
+        backend: Optional[str] = None,
     ):
         obstacles = compilation_obstacles(process)
         if obstacles:
@@ -219,16 +222,12 @@ class CompiledAbstraction:
             for equation in process.equations
             if isinstance(equation, DelayEquation)
         }
-        self.manager = BDDManager(self._seed_variable_order())
+        self.manager = create_manager(self._seed_variable_order(), backend=backend)
         self.step = self._compile()
         (self.step,) = self.manager.collect_garbage([self.step])
         if self.step.node_count() > sift_threshold:
             (self.step,) = self.manager.sift([self.step], max_variables=24)
-        self._enumerate_variables: Tuple[str, ...] = tuple(
-            [event_variable(name) for name in self._signals]
-            + [value_variable(name) for name in self._signals if name in self._boolean]
-            + [next_variable(register) for register in self._registers]
-        )
+        self._precompute_columns()
         self._oracle: Optional[BooleanAbstraction] = (
             BooleanAbstraction(process, self.hierarchy) if cross_check else None
         )
@@ -249,6 +248,35 @@ class CompiledAbstraction:
             return cls(process, hierarchy, **options)
         except CompilationError:
             return None
+
+    def _precompute_columns(self) -> None:
+        """Fix the enumeration layout once, so ``reactions`` indexes rows.
+
+        ``_enumerate_variables`` is the column order of the satisfying-
+        assignment matrix: every signal's event variable, then the value
+        variables of the boolean signals, then the registers' next-state
+        variables.  Decoding a reaction from a row is then pure integer
+        indexing — no per-row dictionary, no per-row name mangling.
+        """
+        self._enumerate_variables: Tuple[str, ...] = tuple(
+            [event_variable(name) for name in self._signals]
+            + [value_variable(name) for name in self._signals if name in self._boolean]
+            + [next_variable(register) for register in self._registers]
+        )
+        width = len(self._signals)
+        value_column: Dict[str, int] = {}
+        for name in self._signals:
+            if name in self._boolean:
+                value_column[name] = width
+                width += 1
+        self._signal_columns: Tuple[Tuple[str, int, Optional[int]], ...] = tuple(
+            (name, index, value_column.get(name))
+            for index, name in enumerate(self._signals)
+        )
+        self._register_columns: Tuple[Tuple[str, int], ...] = tuple(
+            (register, width + offset)
+            for offset, register in enumerate(self._registers)
+        )
 
     # -- variable order ----------------------------------------------------------
     def _seed_variable_order(self) -> List[str]:
@@ -436,29 +464,32 @@ class CompiledAbstraction:
         """The admissible reactions from ``state`` with their successor states.
 
         One cofactor on the register variables, then the output-sensitive
-        satisfying-assignment walk: no candidate generation, no rejected
-        activations, no interpreter.  Like
-        :meth:`BooleanAbstraction.reactions`, this does not memoize — the
-        lazy LTS layer (:class:`~repro.mc.onthefly.LazyReactionLTS`) caches
-        successor sets per state for both engines.
+        satisfying-assignment enumeration — as a matrix
+        (:meth:`~repro.bdd.bdd.BDDManager.satisfy_matrix`), decoded by the
+        column indices fixed in :meth:`_precompute_columns`: no candidate
+        generation, no rejected activations, no interpreter, no per-row
+        dictionaries.  Like :meth:`BooleanAbstraction.reactions`, this does
+        not memoize — the lazy LTS layer
+        (:class:`~repro.mc.onthefly.LazyReactionLTS`) caches successor sets
+        per state for both engines.
         """
         assignment = {current_variable(name): bool(value) for name, value in state}
         cofactor = self.step.restrict(assignment)
         results: List[Tuple[Reaction, State]] = []
-        for solution in cofactor.satisfy_all(self._enumerate_variables):
+        for row in cofactor.satisfy_matrix(self._enumerate_variables):
             events: Dict[str, object] = {}
-            for name in self._signals:
-                if solution[event_variable(name)]:
+            for name, event_column, value_column in self._signal_columns:
+                if row[event_column]:
                     events[name] = (
-                        solution[value_variable(name)]
-                        if name in self._boolean
+                        row[value_column]
+                        if value_column is not None
                         else CANONICAL_NUMERIC_VALUE
                     )
             reaction = Reaction.interned(self._signals, events)
             successor = intern_state(
                 tuple(
-                    (register, solution[next_variable(register)])
-                    for register in self._registers
+                    (register, row[column])
+                    for register, column in self._register_columns
                 )
             )
             results.append((reaction, successor))
@@ -514,6 +545,7 @@ class CompiledAbstraction:
         process: NormalizedProcess,
         payload: Mapping[str, object],
         hierarchy: Optional[ClockHierarchy] = None,
+        backend: Optional[str] = None,
     ) -> "CompiledAbstraction":
         """Reattach a stored step relation to ``process`` without recompiling.
 
@@ -551,18 +583,10 @@ class CompiledAbstraction:
         instance._signals = tuple(payload["signals"])
         instance._registers = tuple(payload["registers"])
         instance._initial_values = dict(payload["initial"])
-        manager, (step,) = BDDManager.load(payload["step"])
+        manager, (step,) = load_manager(payload["step"], backend=backend)
         instance.manager = manager
         instance.step = step
-        instance._enumerate_variables = tuple(
-            [event_variable(name) for name in instance._signals]
-            + [
-                value_variable(name)
-                for name in instance._signals
-                if name in instance._boolean
-            ]
-            + [next_variable(register) for register in instance._registers]
-        )
+        instance._precompute_columns()
         instance._oracle = None
         instance.states_enumerated = 0
         instance.reactions_enumerated = 0
@@ -607,7 +631,9 @@ def compiled_artifact_payload(
 
 
 def compiled_from_artifact(
-    process: NormalizedProcess, payload: Mapping[str, object]
+    process: NormalizedProcess,
+    payload: Mapping[str, object],
+    backend: Optional[str] = None,
 ) -> Optional["CompiledAbstraction"]:
     """Decode a persisted compilation result back onto ``process``.
 
@@ -624,7 +650,9 @@ def compiled_from_artifact(
                 f"{payload.get('format')!r}; the fragment may have widened"
             )
         return None
-    return CompiledAbstraction.from_payload(process, payload["abstraction"])
+    return CompiledAbstraction.from_payload(
+        process, payload["abstraction"], backend=backend
+    )
 
 
 def build_lts_compiled(
@@ -632,6 +660,7 @@ def build_lts_compiled(
     hierarchy: Optional[ClockHierarchy] = None,
     max_states: int = 512,
     cross_check: bool = False,
+    backend: Optional[str] = None,
 ) -> ReactionLTS:
     """Explore the reachable reaction LTS through the compiled step relation.
 
@@ -642,7 +671,9 @@ def build_lts_compiled(
     """
     from repro.mc.onthefly import LazyReactionLTS, OnTheFlyChecker
 
-    abstraction = CompiledAbstraction(process, hierarchy, cross_check=cross_check)
+    abstraction = CompiledAbstraction(
+        process, hierarchy, cross_check=cross_check, backend=backend
+    )
     lazy = LazyReactionLTS(process, hierarchy, abstraction=abstraction)
     checker = OnTheFlyChecker(lazy, max_states=max_states)
     return checker.materialize()

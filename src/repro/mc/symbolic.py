@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.bdd.backend import create_manager
 from repro.bdd.bdd import BDD, BDDManager
 from repro.mc.explicit import InvariantResult
 from repro.mc.transition import ReactionLTS, State
@@ -64,9 +65,14 @@ class SymbolicChecker:
     checked symbolically.
     """
 
-    def __init__(self, lts: ReactionLTS, manager: Optional[BDDManager] = None):
+    def __init__(
+        self,
+        lts: ReactionLTS,
+        manager: Optional[BDDManager] = None,
+        backend: Optional[str] = None,
+    ):
         self.lts = lts
-        self.manager = manager or BDDManager()
+        self.manager = manager or create_manager(backend=backend)
         self._registers: Tuple[str, ...] = tuple(name for name, _ in lts.initial)
         self._signals: Tuple[str, ...] = self._collect_signals()
         for register in self._registers:
@@ -228,6 +234,7 @@ class SymbolicProductChecker:
         component_ltss: Sequence[ReactionLTS],
         manager: Optional[BDDManager] = None,
         components: Optional[Sequence[object]] = None,
+        backend: Optional[str] = None,
     ):
         if not component_ltss:
             raise ValueError("a symbolic product needs at least one component LTS")
@@ -248,7 +255,7 @@ class SymbolicProductChecker:
                     "process instead)"
                 )
         self.component_ltss = tuple(component_ltss)
-        self.manager = manager or BDDManager()
+        self.manager = manager or create_manager(backend=backend)
         register_groups = [tuple(name for name, _ in lts.initial) for lts in component_ltss]
         flat = [name for group in register_groups for name in group]
         if len(flat) != len(set(flat)):

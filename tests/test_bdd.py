@@ -1,14 +1,22 @@
-"""Unit tests for the ROBDD engine and the boolean expression layer."""
+"""Unit tests for the ROBDD engine and the boolean expression layer.
+
+The core fixtures are parametrized over every registered backend
+(:func:`repro.bdd.backend.available_backends`), so the reference manager and
+the vectorized array kernel face the same unit suite.
+"""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.bdd.backend import available_backends, create_manager
 from repro.bdd.bdd import BDDManager
 from repro.bdd.expr import FALSE, TRUE, And, Iff, Implies, Not, Or, Var, Xor, conjunction, disjunction
 
 
-@pytest.fixture()
-def manager():
-    return BDDManager(["a", "b", "c", "d"])
+@pytest.fixture(params=available_backends())
+def manager(request):
+    return create_manager(["a", "b", "c", "d"], backend=request.param)
 
 
 class TestBDDBasics:
@@ -231,3 +239,136 @@ class TestManagerMaintenance:
             function = function | (manager.var(f"v{index}") & manager.var(f"v{index + 1}"))
         assert manager.stats()["cache_evictions"] > 0
         assert len(manager._apply_cache) <= 64
+
+
+# -- property tests over every backend ----------------------------------------
+#
+# A random boolean function is a straight-line program: start from the
+# declared variables, repeatedly combine two earlier results (or negate one).
+# Deterministic, shrinkable, and it exercises sharing (earlier results are
+# reused by later instructions).
+
+_PROPERTY_VARIABLES = ("a", "b", "c", "d")
+
+_programs = st.lists(
+    st.tuples(
+        st.sampled_from(("and", "or", "xor", "implies", "iff", "not")),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+def _build(manager, program):
+    pool = [manager.var(name) for name in _PROPERTY_VARIABLES]
+    for operation, left_index, right_index in program:
+        left = pool[left_index % len(pool)]
+        right = pool[right_index % len(pool)]
+        pool.append(~left if operation == "not" else manager.apply(operation, left, right))
+    return pool[-1]
+
+
+def _truth_table(manager, node):
+    rows = []
+    for bits in range(1 << len(_PROPERTY_VARIABLES)):
+        assignment = {
+            name: bool(bits & (1 << position))
+            for position, name in enumerate(_PROPERTY_VARIABLES)
+        }
+        rows.append(manager.evaluate(node, assignment))
+    return rows
+
+
+class TestDumpRoundTripProperties:
+    """Serialization survives the maintenance operations, on every backend."""
+
+    @pytest.mark.parametrize("backend", available_backends())
+    @given(program=_programs)
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_survives_collect_garbage(self, backend, program):
+        manager = create_manager(_PROPERTY_VARIABLES, backend=backend)
+        function = _build(manager, program)
+        table = _truth_table(manager, function)
+        payload_before = manager.dump([function])
+        (function,) = manager.collect_garbage([function])
+        payload_after = manager.dump([function])
+        # the canonical dump is a function of the root *function*, so garbage
+        # collection (which renumbers nodes) must not change a byte of it
+        assert payload_after == payload_before
+        loaded_manager, (root,) = type(manager).load(payload_after)
+        assert _truth_table(loaded_manager, root) == table
+        assert loaded_manager.dump([root]) == payload_after
+
+    @pytest.mark.parametrize("backend", available_backends())
+    @given(program=_programs)
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_survives_sift(self, backend, program):
+        manager = create_manager(_PROPERTY_VARIABLES, backend=backend)
+        function = _build(manager, program)
+        table = _truth_table(manager, function)
+        (function,) = manager.sift([function])
+        payload = manager.dump([function])
+        loaded_manager, (root,) = type(manager).load(payload)
+        assert _truth_table(loaded_manager, root) == table
+        assert loaded_manager.dump([root]) == payload
+
+
+class TestSatisfyAllEdgeCases:
+    """satisfy_all / satisfy_matrix corner cases, pinned on every backend."""
+
+    @pytest.fixture(params=available_backends())
+    def edge_manager(self, request):
+        return create_manager(["a", "b", "c"], backend=request.param)
+
+    def test_constant_true_enumerates_the_full_cube(self, edge_manager):
+        rows = list(edge_manager.true.satisfy_all(["a", "b"]))
+        assert rows == [
+            {"a": False, "b": False},
+            {"a": False, "b": True},
+            {"a": True, "b": False},
+            {"a": True, "b": True},
+        ]
+        assert edge_manager.satisfy_matrix(edge_manager.true, ["a", "b"]) == [
+            [False, False],
+            [False, True],
+            [True, False],
+            [True, True],
+        ]
+
+    def test_constant_false_enumerates_nothing(self, edge_manager):
+        assert list(edge_manager.false.satisfy_all(["a", "b"])) == []
+        assert edge_manager.satisfy_matrix(edge_manager.false, ["a", "b"]) == []
+
+    def test_queried_variable_outside_the_support_expands_both_ways(self, edge_manager):
+        function = edge_manager.var("a") & edge_manager.var("c")
+        rows = list(function.satisfy_all(["a", "b", "c"]))
+        # "b" is declared but not in the support: it is a don't-care, and the
+        # enumeration expands it in level order, False branch first
+        assert rows == [
+            {"a": True, "b": False, "c": True},
+            {"a": True, "b": True, "c": True},
+        ]
+        assert edge_manager.satisfy_matrix(function, ["a", "b", "c"]) == [
+            [True, False, True],
+            [True, True, True],
+        ]
+
+    def test_undeclared_queried_variable_expands_last(self, edge_manager):
+        function = edge_manager.var("a")
+        # "z" was never declared: it sits below every real level, so it
+        # varies fastest — and both enumeration forms agree on that
+        assert edge_manager.satisfy_matrix(function, ["a", "z"]) == [
+            [True, False],
+            [True, True],
+        ]
+        assert list(function.satisfy_all(["a", "z"])) == [
+            {"a": True, "z": False},
+            {"a": True, "z": True},
+        ]
+
+    def test_satisfy_matrix_requires_support_coverage(self, edge_manager):
+        function = edge_manager.var("a") & edge_manager.var("b")
+        with pytest.raises(ValueError):
+            edge_manager.satisfy_matrix(function, ["a"])

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.results import Diagnostic, Verdict
@@ -105,10 +106,21 @@ def run_queries(
     on-disk artifact store, points every worker at the same store, so the
     cross-worker overlap the per-worker memos cannot capture is served from
     persisted artifacts instead.
+
+    A worker killed mid-batch (OOM killer, a crashing native extension)
+    breaks the whole pool; queries are deterministic and side-effect free,
+    so the batch is retried once on a fresh pool before giving up.
     """
-    with ProcessPoolExecutor(
-        max_workers=parallel,
-        initializer=_initialize_worker,
-        initargs=(tuple(components), name, store_root),
-    ) as pool:
-        return list(pool.map(_run_query, tasks))
+
+    def _run_batch() -> List[Verdict]:
+        with ProcessPoolExecutor(
+            max_workers=parallel,
+            initializer=_initialize_worker,
+            initargs=(tuple(components), name, store_root),
+        ) as pool:
+            return list(pool.map(_run_query, tasks))
+
+    try:
+        return _run_batch()
+    except BrokenProcessPool:
+        return _run_batch()

@@ -21,7 +21,14 @@ adds the long-lived layer the ROADMAP's north star asks for:
 * :class:`~repro.service.client.ServiceClient` and
   ``python -m repro.service`` — a JSON-lines protocol over a local Unix
   socket plus the matching CLI (``serve`` / ``submit`` / ``query`` /
-  ``stats`` / ``digest``), also installed as the ``repro-serve`` script.
+  ``stats`` / ``digest``), also installed as the ``repro-serve`` script;
+* a fault-tolerance layer with a hard invariant — under any injected
+  fault, a query returns either the exact fault-free verdict or a typed
+  :class:`~repro.service.errors.ServiceError` subclass: checksummed,
+  self-quarantining store objects, worker-crash recovery, per-query
+  deadlines, bounded client retries, and admission control, all
+  exercised deterministically by :class:`~repro.service.faults.FaultPlan`
+  (``REPRO_FAULT_PLAN``) and pinned by ``tests/test_chaos.py``.
 
 Quickstart (programmatic, no socket)::
 
@@ -34,6 +41,16 @@ Quickstart (programmatic, no socket)::
     assert verdict["holds"]
 """
 
+from repro.service.errors import (
+    BackendCrashed,
+    DeadlineExceeded,
+    QueryFailed,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceUnavailable,
+    TransportError,
+)
+from repro.service.faults import FaultInjected, FaultPlan
 from repro.service.registry import DesignRegistry
 from repro.service.store import ArtifactStore
 from repro.service.scheduler import (
@@ -41,16 +58,24 @@ from repro.service.scheduler import (
     ProcessPoolBackend,
     VerificationService,
 )
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceClient
 from repro.service.server import ServiceServer
 
 __all__ = [
     "ArtifactStore",
+    "BackendCrashed",
+    "DeadlineExceeded",
     "DesignRegistry",
+    "FaultInjected",
+    "FaultPlan",
     "InlineBackend",
     "ProcessPoolBackend",
+    "QueryFailed",
     "ServiceClient",
     "ServiceError",
+    "ServiceOverloaded",
     "ServiceServer",
+    "ServiceUnavailable",
+    "TransportError",
     "VerificationService",
 ]

@@ -17,6 +17,13 @@ scheduler counters *and* the per-stage artifact-graph counters
 every pipeline stage, summed over the live sessions).  All outputs are JSON
 on stdout, one object per line, so the CLI composes with ``jq`` and
 scripts.
+
+A server that cannot be reached (absent socket, nothing listening) exits 1
+with a one-line hint on stderr after the client's bounded retries
+(``--retries``); typed server-side failures exit 2 with the error as JSON.
+``serve`` honors ``REPRO_FAULT_PLAN`` (see :mod:`repro.service.faults`),
+wiring one deterministic fault plan through the store and the backend —
+the chaos harness's entry point for a served process.
 """
 
 from __future__ import annotations
@@ -27,7 +34,9 @@ import json
 import sys
 from pathlib import Path
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceClient
+from repro.service.errors import ServiceError, ServiceUnavailable
+from repro.service.faults import FaultPlan
 from repro.service.scheduler import (
     InlineBackend,
     ProcessPoolBackend,
@@ -49,18 +58,34 @@ def _options(arguments: argparse.Namespace) -> dict:
     return options
 
 
+def _client(arguments: argparse.Namespace) -> ServiceClient:
+    return ServiceClient(arguments.socket, retries=arguments.retries)
+
+
 def _serve(arguments: argparse.Namespace) -> int:
-    store = ArtifactStore(arguments.store) if arguments.store else None
+    fault_plan = FaultPlan.from_env()
+    store = (
+        ArtifactStore(arguments.store, fault_plan=fault_plan)
+        if arguments.store
+        else None
+    )
     if arguments.backend == "process":
         backend = ProcessPoolBackend(
             workers=arguments.workers,
             store_root=arguments.store,
+            fault_plan=fault_plan,
         )
     else:
-        backend = InlineBackend(workers=arguments.workers)
+        backend = InlineBackend(workers=arguments.workers, fault_plan=fault_plan)
     service = VerificationService(
-        store=store, backend=backend, cache_size=arguments.cache_size
+        store=store,
+        backend=backend,
+        cache_size=arguments.cache_size,
+        max_inflight=arguments.max_inflight,
+        max_queue=arguments.max_queue,
     )
+    if fault_plan is not None:
+        _emit({"fault_plan": fault_plan.stats()})
     for source in arguments.source or []:
         digest = service.register(Path(source).read_text(encoding="utf-8"))
         _emit({"registered": source, "digest": digest})
@@ -76,13 +101,14 @@ def _serve(arguments: argparse.Namespace) -> int:
 
 
 def _submit(arguments: argparse.Namespace) -> int:
-    client = ServiceClient(arguments.socket)
+    client = _client(arguments)
     source = Path(arguments.source).read_text(encoding="utf-8")
     digest = client.register(source)
     verdict = client.verify(
         digest=digest,
         prop=arguments.prop,
         method=arguments.method,
+        deadline=arguments.deadline,
         **_options(arguments),
     )
     _emit(verdict)
@@ -90,11 +116,11 @@ def _submit(arguments: argparse.Namespace) -> int:
 
 
 def _query(arguments: argparse.Namespace) -> int:
-    client = ServiceClient(arguments.socket)
-    verdict = client.verify(
+    verdict = _client(arguments).verify(
         digest=arguments.digest,
         prop=arguments.prop,
         method=arguments.method,
+        deadline=arguments.deadline,
         **_options(arguments),
     )
     _emit(verdict)
@@ -102,7 +128,7 @@ def _query(arguments: argparse.Namespace) -> int:
 
 
 def _stats(arguments: argparse.Namespace) -> int:
-    _emit(ServiceClient(arguments.socket).stats())
+    _emit(_client(arguments).stats())
     return 0
 
 
@@ -133,6 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--source", action="append", help="Signal source file(s) to pre-register"
     )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="admission control: distinct in-flight computations before "
+             "queries are rejected as overloaded (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=0,
+        help="extra in-flight computations admitted beyond --max-inflight",
+    )
     serve.set_defaults(handler=_serve)
 
     def _query_arguments(command: argparse.ArgumentParser) -> None:
@@ -140,6 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--prop", required=True, help="property to verify")
         command.add_argument("--method", default="auto")
         command.add_argument("--max-states", type=int, default=None)
+        command.add_argument(
+            "--deadline", type=float, default=None,
+            help="per-query deadline in seconds (typed deadline-exceeded error)",
+        )
+        command.add_argument(
+            "--retries", type=int, default=2,
+            help="transport retries before giving up (exponential backoff)",
+        )
 
     submit = commands.add_parser("submit", help="register a source file and verify it")
     submit.add_argument("--source", required=True, help="Signal source file")
@@ -155,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="print service counters (incl. per-stage artifact-graph counters)"
     )
     stats.add_argument("--socket", required=True)
+    stats.add_argument(
+        "--retries", type=int, default=2,
+        help="transport retries before giving up (exponential backoff)",
+    )
     stats.set_defaults(handler=_stats)
 
     digest = commands.add_parser("digest", help="print a source file's content digest")
@@ -167,8 +214,15 @@ def main(argv=None) -> int:
     arguments = build_parser().parse_args(argv)
     try:
         return arguments.handler(arguments)
+    except ServiceUnavailable as error:
+        print(
+            f"repro-serve: cannot reach {arguments.socket} — is the server "
+            f"running? ({error})",
+            file=sys.stderr,
+        )
+        return 1
     except ServiceError as error:
-        _emit({"error": str(error)})
+        _emit({"error": str(error), "code": error.code})
         return 2
     except FileNotFoundError as error:
         _emit({"error": str(error)})

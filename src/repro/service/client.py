@@ -2,31 +2,95 @@
 
 Each request opens a fresh connection (the protocol is stateless and local,
 so connection reuse buys nothing worth the bookkeeping), sends one JSON
-line and reads one JSON line back.  Server-side failures surface as
-:class:`ServiceError` with the server's message.
+line and reads one JSON line back.
+
+**Failure behavior.**  Every operation of the protocol is idempotent
+(verification of a content-addressed design is deterministic, registration
+is content-addressed, stats are reads), so transport-level failures —
+connection refused, missing socket, reset, a truncated or garbled response
+— are retried with exponential backoff and *seeded* jitter (an explicit
+``jitter_seed``, never shared :mod:`random` state, so retry schedules are
+reproducible).  Exhausted retries raise
+:class:`~repro.service.errors.ServiceUnavailable` naming the operation and
+the socket path.  Server-side failures are **not** retried: an
+``{"ok": false}`` response carries a ``code`` that maps back to the typed
+:class:`~repro.service.errors.ServiceError` hierarchy
+(:class:`~repro.service.errors.DeadlineExceeded`,
+:class:`~repro.service.errors.ServiceOverloaded` with its ``retry_after``
+hint, ...), exactly as the in-process scheduler raises them.
+
+An optional :class:`~repro.service.faults.FaultPlan` injects connection
+refusals and truncated responses *below* the retry layer, so the chaos
+suite exercises the same recovery code a flaky network would.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
 from pathlib import Path
+from random import Random
 from typing import Dict, Optional, Union
 
+from repro.service.errors import (
+    ServiceError,
+    ServiceUnavailable,
+    TransportError,
+    error_from_code,
+)
+from repro.service.faults import FaultPlan
 
-class ServiceError(RuntimeError):
-    """The server answered ``{"ok": false}``."""
+__all__ = ["ServiceClient", "ServiceError"]
+
+#: transport failures worth a retry; server-side typed errors are not here
+_RETRYABLE = (
+    ConnectionError,  # refused, reset, aborted, broken pipe
+    FileNotFoundError,  # the socket path does not exist (server not up yet)
+    TimeoutError,  # socket.timeout is an alias since 3.10
+    InterruptedError,
+    TransportError,  # truncated / garbled / empty response
+)
 
 
 class ServiceClient:
-    """Talk to a :class:`~repro.service.server.ServiceServer` over its socket."""
+    """Talk to a :class:`~repro.service.server.ServiceServer` over its socket.
 
-    def __init__(self, socket_path: Union[str, Path], timeout: float = 120.0):
+    ``retries`` counts *additional* attempts after the first; attempt ``n``
+    sleeps ``backoff * 2**n`` (capped at ``backoff_cap``) plus uniform
+    seeded jitter of up to the same amount before retrying.
+    """
+
+    def __init__(
+        self,
+        socket_path: Union[str, Path],
+        timeout: float = 120.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter_seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
         self.socket_path = str(socket_path)
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.fault_plan = fault_plan
+        self._jitter = Random(jitter_seed)
+        #: transport failures that triggered a retry (observability)
+        self.retried = 0
 
-    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
-        """One round trip; returns the ``result`` or raises :class:`ServiceError`."""
+    def _backoff_delay(self, attempt: int) -> float:
+        base = min(self.backoff * (2 ** attempt), self.backoff_cap)
+        return base + self._jitter.uniform(0.0, base)
+
+    def _attempt(self, payload: Dict[str, object], op: str) -> Dict[str, object]:
+        """One connect → send → receive → parse round trip."""
+        if self.fault_plan is not None and self.fault_plan.connect_fault():
+            raise ConnectionRefusedError(
+                f"injected connection refusal to {self.socket_path}"
+            )
         with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as connection:
             connection.settimeout(self.timeout)
             connection.connect(self.socket_path)
@@ -39,12 +103,49 @@ class ServiceClient:
                 chunks.append(chunk)
                 if chunk.endswith(b"\n"):
                     break
-        if not chunks:
-            raise ServiceError("connection closed without a response")
-        response = json.loads(b"".join(chunks).decode("utf-8"))
+        data = b"".join(chunks)
+        if self.fault_plan is not None:
+            data = self.fault_plan.response_fault(data)
+        if not data:
+            raise TransportError(
+                f"connection closed with no response to {op!r} on {self.socket_path}"
+            )
+        try:
+            response = json.loads(data.decode("utf-8"))
+        except ValueError as error:
+            raise TransportError(
+                f"truncated or garbled response to {op!r} on {self.socket_path}: "
+                f"{error}"
+            ) from error
         if not response.get("ok"):
-            raise ServiceError(str(response.get("error", "unknown server error")))
+            raise error_from_code(
+                response.get("code"),
+                str(response.get("error", "unknown server error")),
+                retry_after=response.get("retry_after"),
+            )
         return response.get("result", {})
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """One round trip with bounded retries; returns the ``result``.
+
+        Raises the typed :class:`ServiceError` subclass the server named, or
+        :class:`ServiceUnavailable` when every attempt failed in transport.
+        """
+        op = str(payload.get("op", "request"))
+        last: Optional[BaseException] = None
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            try:
+                return self._attempt(payload, op)
+            except _RETRYABLE as error:
+                last = error
+                if attempt + 1 < attempts:
+                    self.retried += 1
+                    time.sleep(self._backoff_delay(attempt))
+        raise ServiceUnavailable(
+            f"{op!r} request to {self.socket_path} failed after {attempts} "
+            f"attempt(s): {type(last).__name__}: {last}"
+        ) from last
 
     # -- operations -----------------------------------------------------------------
     def ping(self) -> bool:
@@ -61,15 +162,22 @@ class ServiceClient:
         source: Optional[str] = None,
         prop: str = "weak-endochrony",
         method: str = "auto",
+        deadline: Optional[float] = None,
         **options: object,
     ) -> Dict[str, object]:
-        """A property query by digest or by source; returns the verdict dict."""
+        """A property query by digest or by source; returns the verdict dict.
+
+        ``deadline`` (seconds) travels with the request: the server answers
+        a typed ``deadline-exceeded`` error when it expires, without
+        cancelling the shared computation."""
         payload: Dict[str, object] = {
             "op": "verify",
             "prop": prop,
             "method": method,
             "options": options,
         }
+        if deadline is not None:
+            payload["deadline"] = deadline
         if digest:
             payload["digest"] = digest
         elif source:

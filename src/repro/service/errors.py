@@ -1,0 +1,105 @@
+"""The typed error vocabulary of the serving layer.
+
+Every failure a caller of the service can observe — programmatically or
+over the socket — is a :class:`ServiceError` subclass with a stable
+``code``.  The invariant the chaos suite (``tests/test_chaos.py``) pins:
+under any injected fault, a query returns either the exact fault-free
+verdict or one of these typed errors — never a raw traceback, never a hung
+client, never a poisoned store.
+
+Over the JSON-lines protocol the code travels as the ``code`` field of an
+``{"ok": false}`` response; :func:`error_from_code` rebuilds the matching
+subclass on the client side, so ``except DeadlineExceeded:`` works the same
+against an in-process :class:`~repro.service.scheduler.VerificationService`
+and against a remote server.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+
+class ServiceError(RuntimeError):
+    """Base of every typed serving-layer failure (and the generic wire error).
+
+    ``retry_after``, when set, is the server's hint (in seconds) for when a
+    retry is worth attempting — carried by :class:`ServiceOverloaded`
+    rejections.
+    """
+
+    code = "error"
+
+    def __init__(self, message: str, *, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class TransportError(ServiceError):
+    """The socket conversation broke: truncated/garbled response, reset,
+    connection closed mid-response.  Retryable — every operation of the
+    protocol is idempotent."""
+
+    code = "transport"
+
+
+class ServiceUnavailable(TransportError):
+    """The client exhausted its retries without completing one round trip
+    (connection refused, missing socket, repeated transport failures)."""
+
+    code = "unavailable"
+
+
+class DeadlineExceeded(ServiceError):
+    """The caller's deadline expired before the verdict was ready.
+
+    The shared in-flight computation is *not* cancelled — other riders
+    coalesced onto it (and the verdict cache) still get the answer."""
+
+    code = "deadline-exceeded"
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control rejected the query: the in-flight computation and
+    queue bounds are full.  ``retry_after`` carries the backoff hint."""
+
+    code = "overloaded"
+
+
+class BackendCrashed(ServiceError):
+    """The worker pool died repeatedly while computing this query — the
+    bounded rebuild/re-dispatch recovery was exhausted."""
+
+    code = "backend-crashed"
+
+
+class QueryFailed(ServiceError):
+    """The computation itself raised: the underlying exception's type and
+    message, wrapped so callers can rely on the typed hierarchy."""
+
+    code = "query-failed"
+
+
+#: wire ``code`` → exception class, for the client-side rebuild
+ERROR_CODES: Dict[str, Type[ServiceError]] = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        TransportError,
+        ServiceUnavailable,
+        DeadlineExceeded,
+        ServiceOverloaded,
+        BackendCrashed,
+        QueryFailed,
+    )
+}
+
+
+def error_from_code(
+    code: Optional[object], message: str, *, retry_after: Optional[object] = None
+) -> ServiceError:
+    """The typed exception for a wire error ``code`` (generic when unknown)."""
+    cls = ERROR_CODES.get(str(code), ServiceError) if code is not None else ServiceError
+    return cls(
+        message,
+        retry_after=float(retry_after) if retry_after is not None else None,
+    )

@@ -1,0 +1,250 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+A :class:`FaultPlan` decides — from an explicit seed, never from wall-clock
+time or the shared :mod:`random` module state — whether each passage
+through one of the stack's real fault boundaries fails, and how:
+
+=============  ==================================================================
+``store_read``   artifact-store reads: ``oserror`` (the read raises),
+                 ``torn`` (the text is truncated mid-object),
+                 ``bitflip`` (one byte of the payload is corrupted)
+``store_write``  artifact-store writes: ``oserror`` (the write fails and is
+                 absorbed as a cache miss), ``torn`` (a truncated object
+                 lands on disk — the quarantine/heal path's input)
+``exec``         backend execution: ``exception`` (the worker raises
+                 :class:`FaultInjected`), ``crash`` (a pool worker process
+                 dies with ``os._exit`` → ``BrokenProcessPool``; inline
+                 threads degrade to an exception), ``latency`` (the worker
+                 sleeps — the deadline machinery's input)
+``connect``      client transport: the connection attempt is refused
+``response``     client transport: the response bytes are truncated, as if
+                 the server closed mid-response or a line arrived partially
+=============  ==================================================================
+
+Every site draws from its **own** ``random.Random`` seeded by
+``(seed, site)``, so the fault schedule at one site is independent of how
+often the other sites are exercised — the property that makes chaos runs
+reproducible under ``REPRO_FAULT_PLAN`` (see :meth:`FaultPlan.from_env`)::
+
+    REPRO_FAULT_PLAN="seed=7,store_read=0.3,exec.latency=0.5,latency=0.05"
+
+Keys are site names (the rate is spread over the site's modes) or
+``site.mode`` (the rate goes to that mode alone); ``seed`` and ``latency``
+(the injected sleep, seconds) are scalars.  Injection counters are keyed
+``site.mode`` and surfaced through the owning component's ``stats()``.
+
+The plan is *advice*, not mechanism: the store, the backends and the client
+each consult their plan at their own boundary and exercise the exact same
+recovery code a real fault would — which is the point.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import Counter
+from random import Random
+from typing import Dict, List, Mapping, Optional, Tuple
+
+
+class FaultInjected(RuntimeError):
+    """The error raised by an injected ``exec.exception`` fault — a stand-in
+    for any unexpected exception escaping a verification worker."""
+
+
+#: site → the modes a bare-site rate is spread over
+SITE_MODES: Dict[str, Tuple[str, ...]] = {
+    "store_read": ("oserror", "torn", "bitflip"),
+    "store_write": ("oserror", "torn"),
+    "exec": ("exception", "crash", "latency"),
+    "connect": ("refused",),
+    "response": ("truncate",),
+}
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+
+class FaultPlan:
+    """A seeded schedule of injected faults over the stack's fault sites.
+
+    ``rates`` maps ``"site"`` (spread over the site's modes) or
+    ``"site.mode"`` to a per-passage probability; sites left out never
+    fire.  One plan instance may be shared by the store, the backend and
+    the client of one deployment — each site's draws stay independent.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: Optional[Mapping[str, float]] = None,
+        latency: float = 0.02,
+        spec: Optional[str] = None,
+    ):
+        self.seed = int(seed)
+        self.latency = float(latency)
+        self.spec = spec
+        self.injected: Counter = Counter()
+        self._lock = threading.Lock()
+        #: site → [(mode, rate)], validated
+        self._rates: Dict[str, List[Tuple[str, float]]] = {
+            site: [] for site in SITE_MODES
+        }
+        for key, rate in (rates or {}).items():
+            site, _, mode = key.partition(".")
+            if site not in SITE_MODES:
+                raise ValueError(
+                    f"unknown fault site {site!r} (valid: {sorted(SITE_MODES)})"
+                )
+            rate = float(rate)
+            if mode:
+                if mode not in SITE_MODES[site]:
+                    raise ValueError(
+                        f"unknown mode {mode!r} for fault site {site!r} "
+                        f"(valid: {SITE_MODES[site]})"
+                    )
+                self._rates[site].append((mode, rate))
+            else:
+                modes = SITE_MODES[site]
+                self._rates[site].extend(
+                    (each, rate / len(modes)) for each in modes
+                )
+        # one independent deterministic stream per site: string seeding is
+        # stable across processes and PYTHONHASHSEED values
+        self._rngs: Dict[str, Random] = {
+            site: Random(f"{self.seed}:{site}") for site in SITE_MODES
+        }
+
+    # -- construction ---------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse ``"seed=7,store_read=0.3,exec.latency=0.5,latency=0.05"``."""
+        seed, latency, rates = 0, 0.02, {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            key, value = key.strip(), value.strip()
+            if not value:
+                raise ValueError(f"fault-plan entry {part!r} needs key=value")
+            if key == "seed":
+                seed = int(value)
+            elif key == "latency":
+                latency = float(value)
+            else:
+                rates[key] = float(value)
+        return cls(seed=seed, rates=rates, latency=latency, spec=spec)
+
+    @classmethod
+    def from_env(cls, variable: str = ENV_VAR) -> Optional["FaultPlan"]:
+        """The plan selected by the environment, or ``None`` when unset."""
+        spec = os.environ.get(variable, "").strip()
+        if not spec:
+            return None
+        return cls.from_spec(spec)
+
+    # -- the deterministic draw -------------------------------------------------------
+    def _draw(self, site: str) -> Optional[str]:
+        """The mode injected at this passage through ``site`` (usually None)."""
+        modes = self._rates[site]
+        if not modes:
+            return None
+        with self._lock:
+            rng = self._rngs[site]
+            roll = rng.random()
+            cumulative = 0.0
+            for mode, rate in modes:
+                cumulative += rate
+                if roll < cumulative:
+                    self.injected[f"{site}.{mode}"] += 1
+                    return mode
+            return None
+
+    def _rng(self, site: str) -> Random:
+        return self._rngs[site]
+
+    # -- site APIs (called by the store / backends / client) ---------------------------
+    def store_read(self, text: str) -> str:
+        """Possibly-corrupted read: may raise OSError, truncate, or flip a byte."""
+        mode = self._draw("store_read")
+        if mode is None or len(text) < 2:
+            return text
+        if mode == "oserror":
+            raise OSError("injected artifact read failure")
+        with self._lock:
+            position = self._rng("store_read").randrange(1, len(text))
+        if mode == "torn":
+            return text[:position]
+        # bitflip: replace one byte with a different printable one
+        flipped = chr((ord(text[position]) + 1 - 32) % 95 + 32)
+        return text[:position] + flipped + text[position + 1 :]
+
+    def store_write(self) -> Optional[Tuple[str, float]]:
+        """``None``, ``("oserror", 0)`` or ``("torn", fraction_kept)``."""
+        mode = self._draw("store_write")
+        if mode is None:
+            return None
+        if mode == "oserror":
+            return ("oserror", 0.0)
+        with self._lock:
+            fraction = 0.1 + 0.8 * self._rng("store_write").random()
+        return ("torn", fraction)
+
+    def exec_fault(self) -> Optional[Tuple[str, object]]:
+        """``None``, ``("exception", msg)``, ``("crash", msg)`` or
+        ``("latency", seconds)`` for the next backend dispatch."""
+        mode = self._draw("exec")
+        if mode is None:
+            return None
+        if mode == "latency":
+            return ("latency", self.latency)
+        if mode == "crash":
+            return ("crash", "injected worker-process crash")
+        return ("exception", "injected verification-worker failure")
+
+    def connect_fault(self) -> bool:
+        """Whether this connection attempt is refused."""
+        return self._draw("connect") is not None
+
+    def response_fault(self, data: bytes) -> bytes:
+        """The response bytes, possibly truncated mid-line (may be empty)."""
+        mode = self._draw("response")
+        if mode is None or not data:
+            return data
+        with self._lock:
+            keep = self._rng("response").randrange(0, len(data))
+        return data[:keep]
+
+    # -- reporting -----------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "spec": self.spec,
+            "injected": dict(sorted(self.injected.items())),
+            "total_injected": sum(self.injected.values()),
+        }
+
+
+def execute_worker_fault(
+    fault: Optional[Tuple[str, object]], allow_crash: bool = False
+) -> None:
+    """Carry out an :meth:`FaultPlan.exec_fault` decision inside a worker.
+
+    Shared by the inline thread workers and the process-pool workers (where
+    the decision crosses the process boundary as part of the task, keeping
+    the schedule deterministic regardless of worker scheduling).  A thread
+    cannot crash alone, so ``crash`` degrades to :class:`FaultInjected`
+    unless ``allow_crash`` — in a process-pool worker, where the crash
+    becomes a real ``BrokenProcessPool`` for the parent to recover from.
+    """
+    if fault is None:
+        return
+    mode, detail = fault
+    if mode == "latency":
+        import time
+
+        time.sleep(float(detail))  # type: ignore[arg-type]
+        return
+    if mode == "crash" and allow_crash:
+        os._exit(3)
+    raise FaultInjected(str(detail))

@@ -22,6 +22,22 @@ queries over one registry, one artifact store and one bounded worker pool:
 The scheduler is loop-agnostic: all asyncio state is created lazily inside
 the running loop, so one service instance can serve a socket server, a
 test's ``asyncio.run`` and the CLI alike.
+
+**Fault tolerance** (the invariant ``tests/test_chaos.py`` pins: correct
+verdict or typed error, never a wrong answer, never a hang):
+
+* computation failures surface as :class:`~repro.service.errors.QueryFailed`
+  (typed, message-preserving) and are never cached;
+* :class:`ProcessPoolBackend` survives worker crashes: a
+  ``BrokenProcessPool`` rebuilds the pool once and re-dispatches the query a
+  bounded number of times, so coalesced riders don't all die with the
+  worker (:class:`~repro.service.errors.BackendCrashed` when exhausted);
+* per-query ``deadline=`` raises
+  :class:`~repro.service.errors.DeadlineExceeded` without cancelling the
+  shared in-flight computation other riders still want;
+* admission control (``max_inflight`` + ``max_queue``) rejects overflow
+  with a fast :class:`~repro.service.errors.ServiceOverloaded` carrying a
+  ``retry_after`` hint, instead of growing in-flight state without bound.
 """
 
 from __future__ import annotations
@@ -29,19 +45,40 @@ from __future__ import annotations
 import asyncio
 import copy
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.api.artifacts import COUNTER_FIELDS
 from repro.api.session import Design, ProcessLike
 from repro.lang.printer import options_fingerprint
+from repro.service.errors import (
+    BackendCrashed,
+    DeadlineExceeded,
+    QueryFailed,
+    ServiceError,
+    ServiceOverloaded,
+)
+from repro.service.faults import FaultPlan, execute_worker_fault
 from repro.service.registry import DesignRegistry
 from repro.service.store import ArtifactStore
 
 #: a fully-normalized query identity: (digest, prop, method, options repr)
 QueryKey = Tuple[str, str, str, str]
+
+
+def _retrieve_exception(task: "asyncio.Task") -> None:
+    """Mark a computation's exception as observed.
+
+    When every waiter on a shared computation timed out (deadlines) or was
+    rejected, nobody awaits the task; retrieving the exception here keeps
+    asyncio from logging a spurious 'exception was never retrieved'.
+    """
+    if not task.cancelled():
+        task.exception()
 
 
 def _is_digest(value: str) -> bool:
@@ -71,8 +108,9 @@ class InlineBackend:
 
     name = "inline"
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, fault_plan: Optional[FaultPlan] = None):
         self.workers = workers
+        self.fault_plan = fault_plan
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-service"
         )
@@ -81,6 +119,11 @@ class InlineBackend:
     def _verify(
         self, design: Design, prop: str, method: str, options: Dict[str, object]
     ):
+        if self.fault_plan is not None:
+            # a thread cannot crash the process alone: ``crash`` degrades
+            # to an injected exception here; ProcessPoolBackend gets the
+            # real thing
+            execute_worker_fault(self.fault_plan.exec_fault(), allow_crash=False)
         with self._serialize:
             return design.verify(prop, method, **options)
 
@@ -110,6 +153,9 @@ class InlineBackend:
     def describe(self) -> Dict[str, object]:
         return {"backend": self.name, "workers": self.workers}
 
+    def fault_stats(self) -> Optional[Dict[str, object]]:
+        return self.fault_plan.stats() if self.fault_plan is not None else None
+
 
 # -- process-pool worker state (one per worker process) --------------------------
 _WORKER: Dict[str, object] = {}
@@ -121,10 +167,16 @@ def _initialize_worker(store_root: Optional[str]) -> None:
 
 
 def _worker_query(task) -> Dict[str, object]:
-    """One query in a pool worker: per-digest memoized sessions + shared store."""
+    """One query in a pool worker: per-digest memoized sessions + shared store.
+
+    ``fault`` is the parent's :meth:`FaultPlan.exec_fault` decision for this
+    dispatch — drawn in the parent so the schedule stays deterministic, and
+    executed here where a ``crash`` takes the real worker process down.
+    """
     from repro.api.parallel import sanitize_verdict
 
-    digest, components, name, prop, method, options = task
+    digest, components, name, prop, method, options, fault = task
+    execute_worker_fault(fault, allow_crash=True)
     designs: Dict[str, Design] = _WORKER["designs"]  # type: ignore[assignment]
     design = designs.get(digest)
     if design is None:
@@ -148,26 +200,72 @@ class ProcessPoolBackend:
 
     name = "process"
 
-    def __init__(self, workers: int = 2, store_root: Optional[str] = None):
+    #: total dispatch attempts per query — the original plus one re-dispatch
+    #: after a pool rebuild; a second consecutive crash is a real problem,
+    #: surfaced as :class:`BackendCrashed` instead of an unbounded retry loop
+    MAX_DISPATCHES = 2
+
+    def __init__(
+        self,
+        workers: int = 2,
+        store_root: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
         self.workers = workers
         self.store_root = str(store_root) if store_root else None
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_initialize_worker,
-            initargs=(self.store_root,),
-        )
+        self.fault_plan = fault_plan
+        self._pool = self._make_pool()
+        self._pool_lock = threading.Lock()
+        #: pools rebuilt after a worker crash (BrokenProcessPool)
+        self.pool_rebuilds = 0
+        #: queries re-dispatched onto a rebuilt pool
+        self.redispatched = 0
         # main-process session work (describe) never runs in the pool, but
         # concurrent calls still share non-thread-safe sessions
         self._local_lock = threading.Lock()
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_initialize_worker,
+            initargs=(self.store_root,),
+        )
+
+    def _rebuild_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Replace a broken pool exactly once, however many queries saw it die.
+
+        Every in-flight query against a crashed worker observes the same
+        ``BrokenProcessPool``; the identity check under the lock makes the
+        first one rebuild and the rest reuse the fresh pool.
+        """
+        with self._pool_lock:
+            if self._pool is broken:
+                self._pool = self._make_pool()
+                self.pool_rebuilds += 1
+        broken.shutdown(wait=False)
 
     async def run(
         self, design: Design, digest: str, prop: str, method: str, options: Dict[str, object]
     ) -> Dict[str, object]:
         loop = asyncio.get_running_loop()
-        task = (digest, tuple(design.components), design.name, prop, method, options)
-        return await loop.run_in_executor(
-            self._pool, partial(_worker_query, task)
-        )
+        fault = self.fault_plan.exec_fault() if self.fault_plan is not None else None
+        base = (digest, tuple(design.components), design.name, prop, method, options)
+        for attempt in range(self.MAX_DISPATCHES):
+            pool = self._pool
+            try:
+                return await loop.run_in_executor(
+                    pool, partial(_worker_query, base + (fault,))
+                )
+            except BrokenProcessPool as error:
+                self._rebuild_pool(pool)
+                fault = None  # an injected crash fires once; re-dispatch clean
+                if attempt + 1 == self.MAX_DISPATCHES:
+                    raise BackendCrashed(
+                        f"worker pool died {self.MAX_DISPATCHES} times computing "
+                        f"{prop!r} on {digest[:12]}…; giving up after the bounded "
+                        "re-dispatch"
+                    ) from error
+                self.redispatched += 1
 
     async def run_blocking(self, function):
         """Main-process session work, serialized and off the event loop."""
@@ -187,7 +285,12 @@ class ProcessPoolBackend:
             "backend": self.name,
             "workers": self.workers,
             "store_root": self.store_root,
+            "pool_rebuilds": self.pool_rebuilds,
+            "redispatched": self.redispatched,
         }
+
+    def fault_stats(self) -> Optional[Dict[str, object]]:
+        return self.fault_plan.stats() if self.fault_plan is not None else None
 
 
 class VerificationService:
@@ -209,11 +312,19 @@ class VerificationService:
         registry: Optional[DesignRegistry] = None,
         backend: Optional[object] = None,
         cache_size: int = 1024,
+        max_inflight: Optional[int] = None,
+        max_queue: int = 0,
     ):
         self.registry = registry or DesignRegistry()
         self.store = store
         self.backend = backend or InlineBackend()
         self.cache_size = cache_size
+        #: admission control: at most ``max_inflight + max_queue`` *distinct*
+        #: computations in flight (``None`` = unbounded — the historical
+        #: behavior).  Cache hits and coalesced riders are always admitted;
+        #: only a query that would start a new computation can be rejected.
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
         self._cache: "OrderedDict[QueryKey, Dict[str, object]]" = OrderedDict()
         self._inflight: Dict[QueryKey, "asyncio.Task"] = {}
         #: underlying computations actually run (misses everywhere: LRU,
@@ -224,6 +335,15 @@ class VerificationService:
         self.cache_hits = 0
         self.verdict_store_hits = 0
         self.queries = 0
+        #: queries rejected by admission control (typed ServiceOverloaded)
+        self.rejected = 0
+        #: queries whose caller's deadline expired (typed DeadlineExceeded)
+        self.deadline_exceeded = 0
+        #: computations that raised (typed QueryFailed / backend errors)
+        self.failures = 0
+        # EWMA of recent computation durations: the retry_after estimator
+        self._ewma_seconds = 0.0
+        self._ewma_samples = 0
 
     # -- registration -------------------------------------------------------------
     def register(
@@ -248,11 +368,20 @@ class VerificationService:
         return self.register(target)
 
     # -- the query path -----------------------------------------------------------
+    def _retry_after_hint(self) -> float:
+        """When a rejected caller should come back: the in-flight backlog
+        divided by the worker pool, priced at the recent average compute."""
+        average = self._ewma_seconds if self._ewma_samples else 0.5
+        workers = max(1, int(getattr(self.backend, "workers", 1) or 1))
+        backlog = max(1, len(self._inflight))
+        return round(max(0.05, average * backlog / workers), 3)
+
     async def verify(
         self,
         target: Union[Design, str, Iterable[ProcessLike]],
         prop: str,
         method: str = "auto",
+        deadline: Optional[float] = None,
         **options: object,
     ) -> Dict[str, object]:
         """One property query; returns a JSON-safe verdict dictionary.
@@ -260,6 +389,14 @@ class VerificationService:
         ``target`` is a registered digest or anything :meth:`register`
         accepts.  Identical concurrent queries are coalesced onto one
         computation; completed ones are served from the LRU cache.
+
+        ``deadline`` (seconds, relative) bounds how long *this caller*
+        waits: expiry raises :class:`DeadlineExceeded` while the shared
+        computation runs on for coalesced riders and the caches.  When
+        admission control is configured and the in-flight table is full, a
+        query that would start a new computation is rejected immediately
+        with :class:`ServiceOverloaded` (its ``retry_after`` is the
+        backoff hint) — bounded memory beats an unbounded queue.
         """
         from repro.api.backends import canonical_property
 
@@ -283,14 +420,36 @@ class VerificationService:
             return copy.deepcopy(cached)
         task = self._inflight.get(key)
         if task is None:
+            bound = self.max_inflight
+            if bound is not None and len(self._inflight) >= bound + self.max_queue:
+                self.rejected += 1
+                hint = self._retry_after_hint()
+                raise ServiceOverloaded(
+                    f"{len(self._inflight)} computations in flight (limit "
+                    f"{bound} + {self.max_queue} queued); retry in ~{hint:g}s",
+                    retry_after=hint,
+                )
             task = asyncio.ensure_future(self._compute(key, digest, prop, method, options))
+            # a failing computation whose every waiter timed out must not
+            # leave an unretrieved-exception warning behind
+            task.add_done_callback(_retrieve_exception)
             self._inflight[key] = task
         else:
             self.coalesced += 1
         # shield: one caller's cancellation must not abort the shared work;
         # deep copy: a caller mutating its verdict must not corrupt the
         # cached entry every other (and future) caller receives
-        return copy.deepcopy(await asyncio.shield(task))
+        waiter = asyncio.shield(task)
+        if deadline is None:
+            return copy.deepcopy(await waiter)
+        try:
+            return copy.deepcopy(await asyncio.wait_for(waiter, timeout=deadline))
+        except asyncio.TimeoutError:
+            self.deadline_exceeded += 1
+            raise DeadlineExceeded(
+                f"{prop!r} on {digest[:12]}… exceeded its {deadline:g}s deadline "
+                "(the shared computation continues for other callers)"
+            ) from None
 
     async def _stored_verdict(self, key: QueryKey) -> Optional[Dict[str, object]]:
         """A persisted verdict for this exact query, when the store has one.
@@ -321,11 +480,33 @@ class VerificationService:
             if verdict is None:
                 self.computations += 1
                 design = self.registry.get(digest)
-                verdict = dict(
-                    await self.backend.run(design, digest, prop, method, dict(options))
+                started = time.perf_counter()
+                try:
+                    verdict = dict(
+                        await self.backend.run(design, digest, prop, method, dict(options))
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except ServiceError:
+                    self.failures += 1
+                    raise
+                except Exception as error:
+                    # the correct-or-typed-error invariant: whatever escaped
+                    # the backend (a VerificationError, an injected fault, a
+                    # pickling problem) reaches callers as one typed class
+                    # with the original type and message preserved
+                    self.failures += 1
+                    raise QueryFailed(f"{type(error).__name__}: {error}") from error
+                elapsed = time.perf_counter() - started
+                self._ewma_seconds = (
+                    elapsed
+                    if self._ewma_samples == 0
+                    else 0.7 * self._ewma_seconds + 0.3 * elapsed
                 )
+                self._ewma_samples += 1
                 verdict["digest"] = digest
                 if self.store is not None:
+                    # best-effort: ArtifactStore.put absorbs write failures
                     loop = asyncio.get_running_loop()
                     await loop.run_in_executor(
                         None,
@@ -347,10 +528,13 @@ class VerificationService:
         target: Union[Design, str, Iterable[ProcessLike]],
         prop: str,
         method: str = "auto",
+        deadline: Optional[float] = None,
         **options: object,
     ) -> Dict[str, object]:
         """Synchronous convenience wrapper: ``asyncio.run(self.verify(...))``."""
-        return asyncio.run(self.verify(target, prop, method, **options))
+        return asyncio.run(
+            self.verify(target, prop, method, deadline=deadline, **options)
+        )
 
     # -- analysis artifacts ---------------------------------------------------------
     async def describe(
@@ -421,6 +605,18 @@ class VerificationService:
             "contexts": len(contexts),
         }
 
+    def fault_stats(self) -> list:
+        """Per-site injection counters of every fault plan in this stack.
+
+        One shared plan (the usual deployment) reports once; distinct
+        store/backend plans report separately."""
+        plans = []
+        for holder in (self.store, self.backend):
+            plan = getattr(holder, "fault_plan", None)
+            if plan is not None and all(plan is not seen for seen in plans):
+                plans.append(plan)
+        return [plan.stats() for plan in plans]
+
     def stats(self) -> Dict[str, object]:
         return {
             "registry": self.registry.stats(),
@@ -433,6 +629,14 @@ class VerificationService:
             "coalesced": self.coalesced,
             "computations": self.computations,
             "inflight": len(self._inflight),
+            "admission": {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "rejected": self.rejected,
+            },
+            "deadline_exceeded": self.deadline_exceeded,
+            "failures": self.failures,
+            "faults": self.fault_stats(),
             "artifacts": self.artifact_stats(),
         }
 

@@ -16,9 +16,16 @@ local Unix-domain socket.  Operations mirror the programmatic API:
 ====================  ==========================================================
 
 Responses are ``{"ok": true, "result": ...}`` or ``{"ok": false, "error":
-"..."}``; a failing query never takes the server down.  Concurrent client
-connections are served concurrently — the scheduler's coalescing applies
-across connections, which is the whole point of fronting it with a socket.
+"...", "code": "..."}``; a failing query never takes the server down.  The
+``code`` is the stable name of the :mod:`repro.service.errors` class the
+scheduler raised (``deadline-exceeded``, ``overloaded`` — with its
+``retry_after`` hint as a sibling field — ``query-failed``, ...), so
+clients rebuild the exact typed error; any other exception is reported
+under the generic ``error`` code.  A ``verify`` request may carry a
+``deadline`` (seconds), threaded to the scheduler's per-caller deadline.
+Concurrent client connections are served concurrently — the scheduler's
+coalescing applies across connections, which is the whole point of
+fronting it with a socket.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ import json
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.service.errors import ServiceError
 from repro.service.scheduler import VerificationService
 
 
@@ -57,10 +65,12 @@ class ServiceServer:
             if not target:
                 raise ValueError("verify needs a 'digest' or a 'source'")
             options = dict(request.get("options") or {})
+            deadline = request.get("deadline")
             return await self.service.verify(
                 str(target),
                 str(request["prop"]),
                 str(request.get("method", "auto")),
+                deadline=float(deadline) if deadline is not None else None,
                 **options,
             )
         if op == "describe":
@@ -115,8 +125,20 @@ class ServiceServer:
                     request = json.loads(line.decode("utf-8"))
                     result = await self._dispatch(request)
                     response = {"ok": True, "result": result}
+                except ServiceError as error:
+                    response = {
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                        "code": error.code,
+                    }
+                    if error.retry_after is not None:
+                        response["retry_after"] = error.retry_after
                 except Exception as error:  # noqa: BLE001 - protocol boundary
-                    response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+                    response = {
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                        "code": "error",
+                    }
                 writer.write(json.dumps(response).encode("utf-8") + b"\n")
                 await writer.drain()
         finally:

@@ -41,6 +41,28 @@ sharing a store directory can race on the same artifact and both end up
 with an intact object; content-addressing makes the race benign (both
 write the same bytes, modulo float jitter in nothing — payloads are pure
 functions of the process).
+
+**Self-healing.**  Atomic writes cannot protect against what happens to an
+object *after* it lands — bit rot, a careless editor, a partially-synced
+filesystem.  Objects are therefore written as checksummed envelopes: a
+one-line JSON header carrying the CRC-32 of the payload bytes, then the
+payload itself.  (A checksum, not a cryptographic digest: the envelope
+detects accidental corruption — anything that can forge a payload can
+forge the header beside it, so a stronger hash would buy no security,
+only a slower warm read.)  :meth:`get` verifies the checksum before
+parsing; an object
+that fails verification (or fails to parse at all) is **quarantined** —
+moved to ``<root>/corrupt/<digest>-<kind>.json`` — and reported as a miss,
+so the caller recomputes and the next :meth:`put` heals the entry.  A
+corrupted object can therefore cost one recomputation, never a wrong
+answer.  Pre-envelope objects (no header line) still read, counted as
+``unverified``.  Write failures (``OSError``, disk full, injected) are
+absorbed and counted — the store is a cache; losing a write degrades
+performance, not correctness.
+
+An optional :class:`~repro.service.faults.FaultPlan` injects read/write
+faults at this boundary; the chaos suite drives the quarantine/heal path
+through it deterministically.
 """
 
 from __future__ import annotations
@@ -48,8 +70,11 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zlib
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
+
+from repro.service.faults import FaultPlan
 
 from repro.api.artifacts import verdict_kind
 from repro.lang.normalize import NormalizedProcess
@@ -62,59 +87,184 @@ from repro.mc.compiled import (
 
 
 class ArtifactStore:
-    """A directory of JSON artifacts keyed by ``(content digest, kind)``."""
+    """A directory of JSON artifacts keyed by ``(content digest, kind)``.
 
-    def __init__(self, root: Union[str, Path]):
+    ``checksums=False`` writes/reads the pre-envelope format (no integrity
+    header) — kept for the benchmark that gates the envelope's warm-path
+    overhead and for byte-compatible comparisons, not for production use.
+    """
+
+    #: first bytes of a checksummed envelope's header line
+    HEADER_PREFIX = '{"repro-store"'
+    #: the key preceding the payload checksum in the header's json.dumps shape
+    CHECKSUM_MARKER = '"crc32": '
+    FORMAT = 1
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        fault_plan: Optional[FaultPlan] = None,
+        checksums: bool = True,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.fault_plan = fault_plan
+        self.checksums = checksums
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.invalid = 0
+        #: objects whose envelope digest verified on read
+        self.verified = 0
+        #: legacy objects read without an integrity header
+        self.unverified = 0
+        #: corrupt objects moved aside to ``corrupt/`` (or deleted)
+        self.quarantined = 0
+        #: writes absorbed as failures (real or injected OSError)
+        self.write_errors = 0
+        #: reads that failed with an injected OSError
+        self.read_errors = 0
 
     # -- raw object access -------------------------------------------------------
     def path(self, digest: str, kind: str) -> Path:
         return self.root / "objects" / digest[:2] / digest / f"{kind}.json"
 
+    def corrupt_path(self, digest: str, kind: str) -> Path:
+        return self.root / "corrupt" / f"{digest}-{kind}.json"
+
     def has(self, digest: str, kind: str) -> bool:
         return self.path(digest, kind).is_file()
 
+    def _decode(self, text: str) -> Optional[Dict[str, object]]:
+        """Parse (and, for envelopes, verify) one object's text.
+
+        ``None`` means the object is corrupt — torn, bit-flipped, or an
+        envelope whose payload does not checksum to its header's value.
+        """
+        if text.startswith(self.HEADER_PREFIX):
+            head, newline, body = text.partition("\n")
+            if not newline:
+                return None  # torn before the payload even started
+            # the header is this store's own fixed json.dumps shape; slicing
+            # the checksum out beats a json.loads on every warm read, and any
+            # corruption that breaks the shape fails the comparison anyway
+            marker = head.find(self.CHECKSUM_MARKER)
+            if marker < 0:
+                return None
+            start = marker + len(self.CHECKSUM_MARKER)
+            end = head.find("}", start)
+            try:
+                expected = int(head[start:end])
+            except ValueError:
+                return None
+            if zlib.crc32(body.encode("utf-8")) != expected:
+                return None
+            try:
+                payload = json.loads(body)
+            except ValueError:  # pragma: no cover - digest already matched
+                return None
+            self.verified += 1
+            return payload
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return None
+        self.unverified += 1
+        return payload
+
+    def _quarantine(self, path: Path, digest: str, kind: str) -> None:
+        """Move a corrupt object out of the store so it cannot poison reads.
+
+        The quarantined copy is kept under ``corrupt/`` for post-mortems;
+        when even the move fails the object is deleted — a corrupt object
+        left in place would fail every future read.
+        """
+        target = self.corrupt_path(digest, kind)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.quarantined += 1
+
     def get(self, digest: str, kind: str) -> Optional[Dict[str, object]]:
-        """The stored payload, or ``None`` on a miss (or an unreadable object)."""
+        """The stored payload, or ``None`` on a miss or a corrupt object.
+
+        A corrupt object — failed checksum, torn or unparseable text — is
+        quarantined to ``corrupt/`` and reported as a miss; the caller's
+        recomputation and the following :meth:`put` heal the entry.
+        """
         path = self.path(digest, kind)
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
             self.misses += 1
             return None
-        try:
-            payload = json.loads(text)
-        except ValueError:
-            # a torn or corrupted object is a miss, not a crash; the caller
-            # recomputes and the next put() heals the entry
+        if self.fault_plan is not None:
+            try:
+                text = self.fault_plan.store_read(text)
+            except OSError:
+                self.read_errors += 1
+                self.misses += 1
+                return None
+        payload = self._decode(text)
+        if payload is None:
+            self._quarantine(path, digest, kind)
             self.invalid += 1
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
-    def put(self, digest: str, kind: str, payload: Dict[str, object]) -> Path:
-        """Atomically write one artifact; concurrent writers cannot tear it."""
+    def put(
+        self, digest: str, kind: str, payload: Dict[str, object]
+    ) -> Optional[Path]:
+        """Atomically write one artifact; concurrent writers cannot tear it.
+
+        Returns the object path, or ``None`` when the write failed — the
+        store is a cache, so a failed write (disk full, permissions, an
+        injected fault) is absorbed and counted in ``write_errors`` rather
+        than failing the computation whose result it was persisting.
+        """
+        body = json.dumps(payload)
+        if self.checksums:
+            header = json.dumps(
+                {
+                    "repro-store": self.FORMAT,
+                    "crc32": zlib.crc32(body.encode("utf-8")),
+                }
+            )
+            content = header + "\n" + body
+        else:
+            content = body
+        fault = self.fault_plan.store_write() if self.fault_plan is not None else None
         path = self.path(digest, kind)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, temp_name = tempfile.mkstemp(
-            prefix=f".{kind}-", suffix=".json", dir=path.parent
-        )
         try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                json.dump(payload, stream)
-            os.replace(temp_name, path)
-        except BaseException:
+            if fault is not None and fault[0] == "oserror":
+                raise OSError("injected artifact write failure")
+            if fault is not None and fault[0] == "torn":
+                # what a non-atomic writer would have left behind: a prefix
+                content = content[: max(1, int(len(content) * fault[1]))]
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(
+                prefix=f".{kind}-", suffix=".json", dir=path.parent
+            )
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                    stream.write(content)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.write_errors += 1
+            return None
         self.writes += 1
         return path
 
@@ -203,4 +353,10 @@ class ArtifactStore:
             "misses": self.misses,
             "writes": self.writes,
             "invalid": self.invalid,
+            "verified": self.verified,
+            "unverified": self.unverified,
+            "quarantined": self.quarantined,
+            "write_errors": self.write_errors,
+            "read_errors": self.read_errors,
+            "checksums": self.checksums,
         }

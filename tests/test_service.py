@@ -18,6 +18,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import socket
 import threading
 
 import pytest
@@ -33,6 +34,8 @@ from repro.service import (
     ServiceClient,
     ServiceError,
     ServiceServer,
+    ServiceUnavailable,
+    TransportError,
     VerificationService,
 )
 
@@ -360,9 +363,52 @@ def test_socket_accepts_large_sources_and_rejects_oversized_lines(running_server
     assert client.ping()
 
 
+def test_client_retries_then_raises_service_unavailable(tmp_path):
+    client = ServiceClient(tmp_path / "absent.sock", retries=2, backoff=0.001)
+    with pytest.raises(ServiceUnavailable, match="3 attempt"):
+        client.ping()
+    assert client.retried == 2
+    # the typed error names the operation and the socket path
+    with pytest.raises(ServiceUnavailable, match="'ping'.*absent.sock"):
+        ServiceClient(tmp_path / "absent.sock", retries=0).ping()
+
+
+def test_client_wraps_garbled_responses_in_typed_errors(tmp_path):
+    socket_path = tmp_path / "garbler.sock"
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(str(socket_path))
+    listener.listen(1)
+
+    def garble():
+        connection, _ = listener.accept()
+        connection.recv(65536)
+        connection.sendall(b"} not json {\n")
+        connection.close()
+
+    thread = threading.Thread(target=garble, daemon=True)
+    thread.start()
+    try:
+        with pytest.raises(TransportError, match="'ping'.*garbler.sock"):
+            ServiceClient(socket_path, retries=0).ping()
+    finally:
+        thread.join(5)
+        listener.close()
+
+
 # ---------------------------------------------------------------------------
 # the CLI
 # ---------------------------------------------------------------------------
+
+def test_cli_exits_1_when_the_server_is_absent(tmp_path, capsys):
+    from repro.service.__main__ import main
+
+    missing = tmp_path / "nobody-home.sock"
+    assert main(["stats", "--socket", str(missing), "--retries", "0"]) == 1
+    captured = capsys.readouterr()
+    assert "is the server running?" in captured.err
+    assert str(missing) in captured.err
+    assert captured.out == ""  # the hint goes to stderr, not the JSON stream
+
 
 def test_cli_digest_is_offline(tmp_path, capsys):
     from repro.service.__main__ import main

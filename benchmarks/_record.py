@@ -19,12 +19,15 @@ trajectory can be tracked across PRs.  The JSON schema is stable::
       "python": "3.12.1",
       "entries": [
         {"scenario": "...", "seconds": 0.123, "states": 42, "bdd_nodes": 17, ...}
-      ]
+      ],
+      "metrics": {"families": [...]}
     }
 
 ``seconds``, ``states``, ``bdd_nodes`` are the canonical fields; extra
 keyword arguments are stored verbatim.  Fields that were not measured are
-omitted, not zeroed.
+omitted, not zeroed.  ``metrics`` is the process's global ``repro.obs``
+registry snapshot at flush time (``tests/test_bench_schema.py`` validates
+the whole shape for every committed ``BENCH_*.json``).
 """
 
 from __future__ import annotations
@@ -95,10 +98,28 @@ class BenchRecorder:
             "bench": self.name,
             "python": platform.python_version(),
             "entries": self.entries,
+            "metrics": _metrics_snapshot(),
         }
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         self._flushed = True
         return path
+
+
+def _metrics_snapshot() -> Dict[str, object]:
+    """The global ``repro.obs`` registry snapshot taken at flush time.
+
+    Every BENCH record embeds the process's metric families so a perf
+    number can be read beside the counters that explain it (cache hits,
+    store reads, spans dropped).  Import is deferred and guarded: the
+    recorder must keep working from a checkout where ``repro.obs`` is not
+    importable.
+    """
+    try:
+        from repro.obs.metrics import GLOBAL
+
+        return GLOBAL.snapshot()
+    except Exception:  # pragma: no cover - degraded environments only
+        return {"families": []}
 
 
 def recorder(name: str) -> BenchRecorder:

@@ -1,0 +1,118 @@
+"""F-OBS — observability must be ~free when it is off, parseable when on.
+
+Two gates on the ``repro.obs`` machinery PR 9 threads through the stack:
+
+1. *Tracing-off overhead* — every instrumented call site costs one global
+   flag read plus a no-op context manager when tracing is disabled (the
+   default).  **Gate: a generous per-query instrumentation budget — 8 full
+   span entries plus 8 event/tag calls, several times what the warm
+   cache-hit path actually crosses — costs ≤ 5 % of one measured warm
+   query.**
+2. *Exposition correctness* — the Prometheus text rendered from a live
+   service's metrics snapshot must parse back loss-free.  **Gate: the
+   parser accepts the exposition and recovers every family.**
+
+Run with:  pytest benchmarks/bench_obs.py
+(the assertions also run in the plain suite; CI uploads the JSON)
+"""
+
+from __future__ import annotations
+
+from _record import recorder, timed
+
+from repro.obs import export as obs_export
+from repro.obs import trace as obs_trace
+from repro.service import VerificationService
+
+RECORD = recorder("obs")
+
+FILTER_SOURCE = """
+process filter (x) returns (y) {
+  y := x when x;
+}
+"""
+
+#: per-primitive measurement loop length
+CALLS = 20000
+#: assumed instrumentation touchpoints per query — deliberately several
+#: times what the warm cache-hit path actually crosses (one span, one tag)
+TOUCHPOINTS = 8
+#: the gate: instrumentation budget / warm query time
+MAX_OVERHEAD = 0.05
+#: warm-query repetitions
+WARM_REPS = 200
+
+
+def test_tracing_off_budget_is_within_5_percent_of_a_warm_query():
+    assert obs_trace.TRACING is False, "benchmarks measure the default: off"
+
+    def spin_spans():
+        for _ in range(CALLS):
+            with obs_trace.span("bench.noop", key="value"):
+                pass
+
+    def spin_events():
+        for _ in range(CALLS):
+            obs_trace.add_event("bench.noop", site="x")
+            obs_trace.tag_current(outcome=True)
+
+    _, span_seconds = timed(spin_spans)
+    _, event_seconds = timed(spin_events)
+    per_span = span_seconds / CALLS
+    per_event = event_seconds / CALLS / 2
+
+    service = VerificationService()
+    try:
+        digest = service.register(FILTER_SOURCE)
+        service.verify_blocking(digest, "non-blocking", method="compiled")
+
+        def warm():
+            for _ in range(WARM_REPS):
+                service.verify_blocking(digest, "non-blocking", method="compiled")
+
+        _, warm_seconds = timed(warm)
+    finally:
+        service.close()
+    warm_per_query = warm_seconds / WARM_REPS
+
+    budget = TOUCHPOINTS * (per_span + per_event)
+    fraction = budget / warm_per_query
+    RECORD.record(
+        "tracing-off instrumentation budget vs warm query",
+        seconds=warm_per_query,
+        per_span_us=round(per_span * 1e6, 3),
+        per_event_us=round(per_event * 1e6, 3),
+        touchpoints=TOUCHPOINTS,
+        budget_us=round(budget * 1e6, 3),
+        fraction=round(fraction, 4),
+        gate=MAX_OVERHEAD,
+    )
+    assert fraction <= MAX_OVERHEAD, (
+        f"{TOUCHPOINTS} disabled touchpoints cost {fraction:.1%} of a warm "
+        f"query ({budget*1e6:.1f}us of {warm_per_query*1e6:.1f}us) — over "
+        f"the {MAX_OVERHEAD:.0%} budget"
+    )
+
+
+def test_prometheus_exposition_from_a_live_service_parses_loss_free():
+    service = VerificationService()
+    try:
+        digest = service.register(FILTER_SOURCE)
+        service.verify_blocking(digest, "endochrony")
+        service.verify_blocking(digest, "endochrony")  # one cache hit
+        snapshot, snapshot_seconds = timed(service.metrics.snapshot)
+        text, render_seconds = timed(obs_export.to_prometheus, snapshot)
+        parsed, parse_seconds = timed(obs_export.parse_prometheus, text)
+    finally:
+        service.close()
+    emitted = {family["name"] for family in snapshot["families"]}
+    assert emitted == set(parsed), "every family survives the round trip"
+    queries = parsed["repro_service_queries_total"]
+    by_outcome = {labels["outcome"]: value for labels, value in queries["samples"]}
+    assert by_outcome["all"] == 2.0 and by_outcome["cache_hit"] == 1.0
+    RECORD.record(
+        "metrics snapshot -> prometheus -> parse round trip",
+        seconds=snapshot_seconds + render_seconds + parse_seconds,
+        families=len(emitted),
+        exposition_bytes=len(text),
+    )

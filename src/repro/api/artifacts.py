@@ -45,7 +45,10 @@ through ``Design.stats()`` and the service's ``stats`` operation.
 from __future__ import annotations
 
 import hashlib
+import time
 from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.obs import trace as obs_trace
 
 #: (content digest, stage name, fingerprint) — the identity of one artifact
 ArtifactKey = Tuple[str, str, str]
@@ -92,6 +95,11 @@ class ArtifactGraph:
         self._dependents: Dict[ArtifactKey, Set[ArtifactKey]] = {}
         self._stack: List[ArtifactKey] = []
         self.counters: Dict[str, Dict[str, int]] = {}
+        #: cumulative compute *self*-time per stage (descendant stages
+        #: excluded) — the per-stage breakdown ``Verdict.cost`` surfaces
+        self.stage_seconds: Dict[str, float] = {}
+        #: child-elapsed accumulator parallel to ``_stack``
+        self._child_seconds: List[float] = []
 
     # -- counters -----------------------------------------------------------------
     def _count(self, stage: str, event: str, amount: int = 1) -> None:
@@ -160,6 +168,10 @@ class ArtifactGraph:
         self._edge(key)
         if key in self._memory:
             self._count(stage, "hits")
+            if obs_trace.TRACING:
+                obs_trace.add_event(
+                    "artifact.hit", stage=stage, digest=digest[:12], tier="memory"
+                )
             return self._memory[key]
         if kind is not None and self.store is not None:
             payload = self.store.get(digest, kind)
@@ -170,14 +182,47 @@ class ArtifactGraph:
                     self._count(stage, "invalid")
                 else:
                     self._count(stage, "store_hits")
+                    if obs_trace.TRACING:
+                        obs_trace.add_event(
+                            "artifact.hit",
+                            stage=stage,
+                            digest=digest[:12],
+                            tier="store",
+                        )
                     self._remember(key, value, keep)
                     return value
         self._count(stage, "computed")
         self._stack.append(key)
+        self._child_seconds.append(0.0)
+        compute_span = (
+            obs_trace.get_tracer().start_span(
+                f"artifact.{stage}", tags={"stage": stage, "digest": digest[:12]}
+            )
+            if obs_trace.TRACING
+            else obs_trace.NULL_SPAN
+        )
+        token = (
+            obs_trace.push(compute_span)
+            if compute_span is not obs_trace.NULL_SPAN
+            else None
+        )
+        started = time.perf_counter()
         try:
             value = compute()
         finally:
+            elapsed = time.perf_counter() - started
+            child_total = self._child_seconds.pop()
             self._stack.pop()
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + (
+                elapsed - child_total
+            )
+            if self._child_seconds:
+                self._child_seconds[-1] += elapsed
+            if token is not None:
+                obs_trace.pop(token)
+                compute_span.set_tag("self_seconds", round(elapsed - child_total, 6))
+                compute_span.finish()
+                obs_trace.get_tracer().record(compute_span)
         self._remember(key, value, keep)
         if kind is not None and self.store is not None and encode is not None:
             payload = encode(value)
@@ -236,6 +281,10 @@ class ArtifactGraph:
         }
         return {
             "stages": stages,
+            "stage_seconds": {
+                stage: round(seconds, 6)
+                for stage, seconds in sorted(self.stage_seconds.items())
+            },
             "nodes": len(self._memory),
             "edges": sum(len(deps) for deps in self._dependencies.values()),
             "hits": self.hits,

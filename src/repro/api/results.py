@@ -106,7 +106,13 @@ class Cost:
     * ``bdd_nodes`` — for symbolic runs, the BDD nodes of the encoded model
       (transition relation plus reachable set) instead of a misleading
       ``0 states``;
-    * ``components`` — the per-component analyses a compositional check ran.
+    * ``components`` — the per-component analyses a compositional check ran;
+    * ``stages`` — present only when the query ran with tracing enabled: the
+      per-stage compute *self*-time breakdown (seconds) collected by the
+      artifact graph while this verdict was computed.  ``None`` (and absent
+      from :meth:`to_dict`) otherwise, so untraced verdicts stay
+      byte-identical to earlier releases; excluded from equality so traced
+      and untraced verdicts of the same query still compare equal.
     """
 
     seconds: float = 0.0
@@ -115,6 +121,7 @@ class Cost:
     components: int = 0
     state_bound: int = 0
     bdd_nodes: int = 0
+    stages: Optional[Dict[str, float]] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         parts = [f"{self.seconds * 1000:.1f} ms"]
@@ -134,8 +141,12 @@ class Cost:
         return ", ".join(parts)
 
     def to_dict(self) -> Dict[str, object]:
-        """A JSON-safe dictionary with every cost field, zeroes included."""
-        return {
+        """A JSON-safe dictionary with every cost field, zeroes included.
+
+        ``stages`` appears only when a breakdown was collected, keeping
+        untraced verdict payloads identical to earlier releases.
+        """
+        payload: Dict[str, object] = {
             "seconds": self.seconds,
             "states": self.states,
             "transitions": self.transitions,
@@ -143,9 +154,13 @@ class Cost:
             "state_bound": self.state_bound,
             "bdd_nodes": self.bdd_nodes,
         }
+        if self.stages is not None:
+            payload["stages"] = dict(self.stages)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "Cost":
+        stages = payload.get("stages")
         return cls(
             seconds=float(payload.get("seconds", 0.0)),
             states=int(payload.get("states", 0)),
@@ -153,6 +168,7 @@ class Cost:
             components=int(payload.get("components", 0)),
             state_bound=int(payload.get("state_bound", 0)),
             bdd_nodes=int(payload.get("bdd_nodes", 0)),
+            stages=dict(stages) if stages else None,
         )
 
 

@@ -35,9 +35,13 @@ actually changed.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.artifacts import ArtifactGraph, verdict_kind
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
 from repro.bdd.backend import create_manager, resolve_backend
 from repro.bdd.bdd import BDDManager
 from repro.lang.ast import Composition, Instantiation, ProcessDefinition, Restriction, Statement
@@ -844,12 +848,38 @@ class Design:
 
         prop = canonical_property(prop)
         options_key = options_fingerprint(options)
+
+        def compute() -> Verdict:
+            if not obs_trace.TRACING:
+                return dispatch(self, prop, method, **options)
+            # tracing on: collect the per-stage self-time breakdown across
+            # this query's dispatch and pin the kernel counters' delta to
+            # the enclosing artifact.verdict span
+            graph = self.context.graph
+            seconds_before = dict(graph.stage_seconds)
+            bdd_before = obs_profile.bdd_tags(self.context.manager)
+            started = time.perf_counter()
+            verdict = dispatch(self, prop, method, **options)
+            elapsed = time.perf_counter() - started
+            stages = {
+                stage: round(total - seconds_before.get(stage, 0.0), 6)
+                for stage, total in graph.stage_seconds.items()
+                if total - seconds_before.get(stage, 0.0) > 0.0
+            }
+            stages["verify"] = round(max(elapsed - sum(stages.values()), 0.0), 6)
+            verdict.cost = dataclasses.replace(verdict.cost, stages=stages)
+            obs_trace.tag_current(
+                outcome=bool(verdict.holds),
+                **obs_profile.bdd_tag_delta(bdd_before, self.context.manager),
+            )
+            return verdict
+
         return self.context.graph.resolve(
             "verdict",
             self.digest(),
             f"{prop}|{method}|{options_key}",
             kind=verdict_kind(prop, method, options_key),
-            compute=lambda: dispatch(self, prop, method, **options),
+            compute=compute,
             encode=lambda verdict: verdict.to_dict(),
             decode=Verdict.from_dict,
         )

@@ -412,8 +412,10 @@ class ArrayBackend(BDDManager):
         if operation in ("and", "or", "xor", "iff") and left > right:
             left, right = right, left
         key = (operation, left, right)
+        self.apply_cache_lookups += 1
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.apply_cache_hits += 1
             return cached
         self._budget_left -= 1
         if self._budget_left < 0:
@@ -460,6 +462,10 @@ class ArrayBackend(BDDManager):
                     np.where(swap, pair_l, pair_r),
                 )
             cached, hit = self._cc_probe(opcode, pair_l, pair_r)
+            # batch probes count element-wise so the hit ratio is comparable
+            # across the scalar and vectorized paths
+            self.apply_cache_lookups += int(len(pair_l))
+            self.apply_cache_hits += int(hit.sum())
             if hit.any():
                 value[open_idx[hit]] = cached[hit]
             miss = ~hit

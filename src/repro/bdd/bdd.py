@@ -32,6 +32,7 @@ Three performance features keep long-lived managers healthy:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 
@@ -199,6 +200,12 @@ class BDDManager:
         self.cache_evictions = 0
         self.gc_runs = 0
         self.reorder_runs = 0
+        # kernel profiling counters (surfaced per-span by repro.obs)
+        self.apply_calls = 0
+        self.apply_cache_lookups = 0
+        self.apply_cache_hits = 0
+        self.peak_nodes = 2
+        self.sift_seconds = 0.0
         for name in variables:
             self.declare(name)
 
@@ -303,6 +310,7 @@ class BDDManager:
 
     def apply(self, operation: str, left: BDD, right: BDD) -> BDD:
         """Binary boolean operation via memoized Shannon expansion."""
+        self.apply_calls += 1
         return BDD(self, self._apply(operation, left.index, right.index))
 
     def _apply(self, operation: str, left: int, right: int) -> int:
@@ -345,8 +353,10 @@ class BDDManager:
         if operation in ("and", "or", "xor", "iff") and left > right:
             left, right = right, left  # commutative: canonicalize the cache key
         key = (operation, left, right)
+        self.apply_cache_lookups += 1
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.apply_cache_hits += 1
             return cached
         left_level = self._levels[left]
         right_level = self._levels[right]
@@ -710,6 +720,9 @@ class BDDManager:
     # -- maintenance: GC, reordering, sifting -------------------------------------
     def stats(self) -> Dict[str, int]:
         """Operational counters for benchmarks and health checks."""
+        # peak tracking is lazy: updated here rather than on every interning,
+        # which keeps _make_node free of bookkeeping on the hot path
+        self.peak_nodes = max(self.peak_nodes, len(self._levels))
         return {
             "nodes": len(self._levels),
             "variables": len(self._names),
@@ -718,6 +731,11 @@ class BDDManager:
             "cache_evictions": self.cache_evictions,
             "gc_runs": self.gc_runs,
             "reorder_runs": self.reorder_runs,
+            "apply_calls": self.apply_calls,
+            "apply_cache_lookups": self.apply_cache_lookups,
+            "apply_cache_hits": self.apply_cache_hits,
+            "peak_nodes": self.peak_nodes,
+            "sift_seconds": self.sift_seconds,
         }
 
     def clear_caches(self) -> None:
@@ -825,14 +843,18 @@ class BDDManager:
         by default).  Handles in ``keep`` are re-pointed in place and
         returned; other handles become stale.
         """
-        support: Set[str] = set()
-        for handle in keep:
-            support |= self.support(handle)
-        if len(support) < 3:
-            return list(keep)
-        session = _SiftSession(self, keep)
-        order = session.run(max_variables)
-        return self.reorder(order, keep)
+        started = time.perf_counter()
+        try:
+            support: Set[str] = set()
+            for handle in keep:
+                support |= self.support(handle)
+            if len(support) < 3:
+                return list(keep)
+            session = _SiftSession(self, keep)
+            order = session.run(max_variables)
+            return self.reorder(order, keep)
+        finally:
+            self.sift_seconds += time.perf_counter() - started
 
 
 class _SiftSession:

@@ -1,0 +1,66 @@
+"""repro.obs — unified tracing, metrics, and profiling for the whole stack.
+
+A stdlib-only leaf package (everything above — api, service, bdd —
+imports it; it imports none of them):
+
+* :mod:`repro.obs.metrics` — the metrics registry: counters, gauges,
+  log-scale histograms, collector scraping, JSON snapshots.
+* :mod:`repro.obs.trace` — the span tracer with explicit context
+  propagation across threads, the JSON-lines protocol, and process-pool
+  workers.
+* :mod:`repro.obs.collect` — collectors mapping every legacy ``stats()``
+  surface onto the canonical ``repro_*`` metric namespace.
+* :mod:`repro.obs.export` — Prometheus text exposition (+ validator),
+  Chrome trace-event JSON, and the shared CLI table formatter.
+* :mod:`repro.obs.profile` — the slow-query log and per-span BDD tagging.
+
+The two cheap globals every instrumented call site keys off:
+``trace.TRACING`` (the sampling gate — one module-global read when off)
+and ``metrics.GLOBAL`` (the process-wide registry).
+"""
+
+from repro.obs.metrics import (  # noqa: F401
+    GLOBAL,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    reset_global,
+)
+from repro.obs.trace import (  # noqa: F401
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    Tracer,
+    activate,
+    add_event,
+    bind,
+    configure,
+    configure_from_env,
+    current_context,
+    current_span,
+    enabled,
+    extract,
+    extract_env,
+    get_tracer,
+    inject,
+    inject_env,
+    pop,
+    push,
+    reset,
+    span,
+    span_tree,
+    tag_current,
+)
+from repro.obs.export import (  # noqa: F401
+    chrome_trace,
+    format_table,
+    flatten_stats,
+    parse_prometheus,
+    snapshot_rows,
+    to_prometheus,
+    write_chrome_trace,
+)
+from repro.obs.profile import SlowQueryLog, bdd_tag_delta, bdd_tags  # noqa: F401
+from repro.obs import collect  # noqa: F401

@@ -1,0 +1,239 @@
+"""Exporters and formatters for metrics snapshots and span collections.
+
+One snapshot shape (``MetricsRegistry.snapshot()``) feeds every rendering:
+JSON (the snapshot itself), Prometheus text exposition
+(:func:`to_prometheus`, validated by :func:`parse_prometheus`), and the
+aligned table the CLI prints (:func:`format_table` — shared by
+``repro-serve stats`` and ``repro-serve metrics``, which is the
+"stats/metrics share one formatter" satellite).  Span dicts render as
+Chrome trace-event JSON (:func:`chrome_trace`) loadable in Perfetto or
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+# -- Prometheus text exposition ---------------------------------------------------
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(labels: Dict[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = sorted(labels.items())
+    if extra is not None:
+        pairs = pairs + [extra]
+    if not pairs:
+        return ""
+    escaped = ",".join(
+        '%s="%s"' % (key, str(value).replace("\\", "\\\\").replace('"', '\\"'))
+        for key, value in pairs
+    )
+    return "{%s}" % escaped
+
+
+def to_prometheus(snapshot: Dict[str, object]) -> str:
+    """Prometheus text exposition (version 0.0.4) of a registry snapshot."""
+    lines: List[str] = []
+    for family in snapshot["families"]:
+        name = family["name"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if family["type"] == "histogram":
+                for bound, count in sample["buckets"]:
+                    bucket_labels = _label_text(labels, ("le", _format_value(bound)))
+                    lines.append(f"{name}_bucket{bucket_labels} {count}")
+                lines.append(f"{name}_sum{_label_text(labels)} {sample['sum']}")
+                lines.append(f"{name}_count{_label_text(labels)} {sample['count']}")
+            else:
+                value = sample.get("value", 0)
+                lines.append(f"{name}{_label_text(labels)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, object]]:
+    """A minimal exposition-format parser used as a CI gate: returns
+    ``{metric_name: {"type": ..., "samples": [(labels_dict, value)]}}`` and
+    raises ``ValueError`` on any malformed line."""
+    metrics: Dict[str, Dict[str, object]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ValueError(f"malformed TYPE line: {raw!r}")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"unknown metric type {kind!r} in {raw!r}")
+            metrics.setdefault(name, {"type": kind, "samples": []})
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"malformed comment line: {raw!r}")
+        # sample line: name[{labels}] value
+        brace = line.find("{")
+        labels: Dict[str, str] = {}
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ValueError(f"unbalanced braces: {raw!r}")
+            name = line[:brace]
+            body = line[brace + 1 : close]
+            rest = line[close + 1 :].strip()
+            if body:
+                for pair in _split_label_pairs(body):
+                    key, _, quoted = pair.partition("=")
+                    if not quoted.startswith('"') or not quoted.endswith('"'):
+                        raise ValueError(f"unquoted label value: {raw!r}")
+                    labels[key.strip()] = (
+                        quoted[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+                    )
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed sample line: {raw!r}")
+            name, rest = parts
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"malformed metric name in {raw!r}")
+        try:
+            value = float(rest.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(f"malformed sample value in {raw!r}")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in metrics:
+                base = name[: -len(suffix)]
+                break
+        entry = metrics.setdefault(base, {"type": "untyped", "samples": []})
+        entry["samples"].append((labels, value))
+    return metrics
+
+
+def _split_label_pairs(body: str) -> List[str]:
+    """Split ``a="x",b="y,z"`` on commas outside quotes."""
+    pairs: List[str] = []
+    depth_quote = False
+    current = []
+    previous = ""
+    for char in body:
+        if char == '"' and previous != "\\":
+            depth_quote = not depth_quote
+        if char == "," and not depth_quote:
+            pairs.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+        previous = char
+    if current:
+        pairs.append("".join(current))
+    return [pair for pair in (p.strip() for p in pairs) if pair]
+
+
+# -- table formatting --------------------------------------------------------------
+def flatten_stats(payload: object, prefix: str = "") -> List[Tuple[str, object]]:
+    """Flatten a nested stats dict into sorted dotted-key rows."""
+    rows: List[Tuple[str, object]] = []
+    if isinstance(payload, dict):
+        for key in sorted(payload, key=str):
+            dotted = f"{prefix}.{key}" if prefix else str(key)
+            rows.extend(flatten_stats(payload[key], dotted))
+    elif isinstance(payload, (list, tuple)):
+        rows.append((prefix, json.dumps(payload)))
+    else:
+        rows.append((prefix, payload))
+    return rows
+
+
+def snapshot_rows(snapshot: Dict[str, object]) -> List[Tuple[str, object]]:
+    """Metric-family snapshot → the same row shape as :func:`flatten_stats`."""
+    rows: List[Tuple[str, object]] = []
+    for family in snapshot["families"]:
+        for sample in family["samples"]:
+            label_text = _label_text(sample.get("labels", {}))
+            if family["type"] == "histogram":
+                rows.append((f"{family['name']}_count{label_text}", sample["count"]))
+                rows.append((f"{family['name']}_sum{label_text}", sample["sum"]))
+            else:
+                rows.append((f"{family['name']}{label_text}", sample.get("value", 0)))
+    return rows
+
+
+def format_table(rows: Iterable[Tuple[str, object]]) -> str:
+    """Two aligned columns — the shared ``--format table`` renderer."""
+    materialized = [(str(key), value) for key, value in rows]
+    if not materialized:
+        return "(no data)\n"
+    width = max(len(key) for key, _ in materialized)
+    lines = []
+    for key, value in materialized:
+        if isinstance(value, float) and not value.is_integer():
+            rendered = f"{value:.6g}"
+        else:
+            rendered = str(value)
+        lines.append(f"{key.ljust(width)}  {rendered}")
+    return "\n".join(lines) + "\n"
+
+
+# -- Chrome trace events -----------------------------------------------------------
+def chrome_trace(spans: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Span dicts → Chrome trace-event JSON (``ph:"X"`` complete events plus
+    ``ph:"i"`` instants for span events), Perfetto-loadable.
+
+    Wall-clock ``start`` anchors each event's ``ts`` so spans from
+    different processes land on one timeline; within-span event offsets
+    are monotonic (perf_counter deltas).
+    """
+    events: List[Dict[str, object]] = []
+    spans = list(spans)
+    epoch = min((s["start"] for s in spans), default=0.0)
+    for span in spans:
+        ts = (span["start"] - epoch) * 1e6
+        pid = span.get("pid", 0)
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(ts, 3),
+                "dur": round(span["duration"] * 1e6, 3),
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "trace_id": span["trace_id"],
+                    "span_id": span["span_id"],
+                    "parent_id": span.get("parent_id"),
+                    **{f"tag.{k}": v for k, v in span.get("tags", {}).items()},
+                },
+            }
+        )
+        for event in span.get("events", ()):
+            events.append(
+                {
+                    "name": f"{span['name']}:{event['name']}",
+                    "cat": "repro.event",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": round(ts + event["offset"] * 1e6, 3),
+                    "pid": pid,
+                    "tid": 0,
+                    "args": dict(event.get("tags", {})),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[Dict[str, object]], path) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(chrome_trace(spans), stream, indent=1)

@@ -4,19 +4,30 @@ Subcommands::
 
     serve   --socket PATH [--store DIR] [--backend inline|process]
             [--workers N] [--cache-size N] [--source FILE ...]
+            [--trace] [--trace-out FILE] [--slow-query-threshold SECONDS]
     submit  --socket PATH --source FILE --prop P [--method M] [--max-states N]
     query   --socket PATH --digest D    --prop P [--method M] [--max-states N]
-    stats   --socket PATH
+    stats   --socket PATH [--format table|json|prom]
+    metrics --socket PATH [--format table|json|prom]
     digest  --source FILE               (offline: print the content digest)
 
 ``serve`` runs until interrupted (or until a client sends ``shutdown``);
 ``submit`` registers a source file and verifies in one round trip; ``query``
 addresses an already-registered design by digest; ``stats`` reports the
-scheduler counters *and* the per-stage artifact-graph counters
-(``.artifacts.stages`` — hits / store hits / computed / invalidated for
-every pipeline stage, summed over the live sessions).  All outputs are JSON
-on stdout, one object per line, so the CLI composes with ``jq`` and
-scripts.
+historical nested counters (``.artifacts.stages`` — hits / store hits /
+computed / invalidated per pipeline stage); ``metrics`` serves the unified
+``repro_*`` registry snapshot.  Both share one formatter: ``--format json``
+(the default; one object per line, composes with ``jq``), ``--format
+table`` (aligned two-column text) or ``--format prom`` (Prometheus text
+exposition — for ``stats`` the nested dict is flattened to untyped gauges,
+for ``metrics`` it is the real typed exposition).
+
+``serve --trace`` enables span tracing for the served process (equivalent
+to ``REPRO_TRACE=1``); ``--trace-out FILE`` writes the collected spans as
+Chrome trace-event JSON on shutdown (open in Perfetto or
+``chrome://tracing``); ``--slow-query-threshold`` logs computed queries
+slower than the threshold into the scheduler's slow-query log (visible
+under ``stats``'s ``slow_queries``).
 
 A server that cannot be reached (absent socket, nothing listening) exits 1
 with a one-line hint on stderr after the client's bounded retries
@@ -34,6 +45,8 @@ import json
 import sys
 from pathlib import Path
 
+from repro.obs import export as obs_export
+from repro.obs import trace as obs_trace
 from repro.service.client import ServiceClient
 from repro.service.errors import ServiceError, ServiceUnavailable
 from repro.service.faults import FaultPlan
@@ -63,6 +76,11 @@ def _client(arguments: argparse.Namespace) -> ServiceClient:
 
 
 def _serve(arguments: argparse.Namespace) -> int:
+    # --trace is the CLI spelling of REPRO_TRACE=1; either enables the
+    # process-wide tracer before any service object is built
+    obs_trace.configure_from_env()
+    if getattr(arguments, "trace", False):
+        obs_trace.configure(enabled=True)
     fault_plan = FaultPlan.from_env()
     store = (
         ArtifactStore(arguments.store, fault_plan=fault_plan)
@@ -83,6 +101,7 @@ def _serve(arguments: argparse.Namespace) -> int:
         cache_size=arguments.cache_size,
         max_inflight=arguments.max_inflight,
         max_queue=arguments.max_queue,
+        slow_query_threshold=arguments.slow_query_threshold,
     )
     if fault_plan is not None:
         _emit({"fault_plan": fault_plan.stats()})
@@ -90,13 +109,23 @@ def _serve(arguments: argparse.Namespace) -> int:
         digest = service.register(Path(source).read_text(encoding="utf-8"))
         _emit({"registered": source, "digest": digest})
     server = ServiceServer(service, arguments.socket)
-    _emit({"serving": arguments.socket, "backend": backend.describe()})
+    _emit(
+        {
+            "serving": arguments.socket,
+            "backend": backend.describe(),
+            "tracing": obs_trace.enabled(),
+        }
+    )
     try:
         asyncio.run(server.serve_forever())
     except KeyboardInterrupt:
         pass
     finally:
         service.close()
+        if arguments.trace_out and obs_trace.enabled():
+            spans = obs_trace.get_tracer().spans
+            obs_export.write_chrome_trace(spans, arguments.trace_out)
+            _emit({"trace_out": arguments.trace_out, "spans": len(spans)})
     return 0
 
 
@@ -127,8 +156,38 @@ def _query(arguments: argparse.Namespace) -> int:
     return 0 if verdict.get("holds") else 1
 
 
+def _render_stats(payload: dict, format: str) -> None:
+    """The shared stats/metrics formatter (nested-dict flavor)."""
+    if format == "json":
+        _emit(payload)
+    elif format == "table":
+        sys.stdout.write(obs_export.format_table(obs_export.flatten_stats(payload)))
+    else:  # prom: a flattened untyped-gauge rendering of the nested dict
+        for key, value in obs_export.flatten_stats(payload):
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, (int, float)):
+                name = "repro_stats_" + "".join(
+                    ch if ch.isalnum() else "_" for ch in key
+                )
+                sys.stdout.write(f"{name} {value}\n")
+
+
 def _stats(arguments: argparse.Namespace) -> int:
-    _emit(_client(arguments).stats())
+    _render_stats(_client(arguments).stats(), arguments.format)
+    return 0
+
+
+def _metrics(arguments: argparse.Namespace) -> int:
+    snapshot = _client(arguments).metrics()
+    if arguments.format == "json":
+        _emit(snapshot)
+    elif arguments.format == "table":
+        sys.stdout.write(
+            obs_export.format_table(obs_export.snapshot_rows(snapshot))
+        )
+    else:
+        sys.stdout.write(obs_export.to_prometheus(snapshot))
     return 0
 
 
@@ -168,6 +227,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-queue", type=int, default=0,
         help="extra in-flight computations admitted beyond --max-inflight",
     )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="enable span tracing for the served process (= REPRO_TRACE=1)",
+    )
+    serve.add_argument(
+        "--trace-out", default=None,
+        help="write collected spans as Chrome trace-event JSON on shutdown",
+    )
+    serve.add_argument(
+        "--slow-query-threshold", type=float, default=0.0,
+        help="log computed queries slower than this many seconds "
+             "(0 = disabled; see stats .slow_queries)",
+    )
     serve.set_defaults(handler=_serve)
 
     def _query_arguments(command: argparse.ArgumentParser) -> None:
@@ -194,15 +266,29 @@ def build_parser() -> argparse.ArgumentParser:
     _query_arguments(query)
     query.set_defaults(handler=_query)
 
+    def _report_arguments(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--socket", required=True)
+        command.add_argument(
+            "--retries", type=int, default=2,
+            help="transport retries before giving up (exponential backoff)",
+        )
+        command.add_argument(
+            "--format", choices=("json", "table", "prom"), default="json",
+            help="output format (shared by stats and metrics)",
+        )
+
     stats = commands.add_parser(
         "stats", help="print service counters (incl. per-stage artifact-graph counters)"
     )
-    stats.add_argument("--socket", required=True)
-    stats.add_argument(
-        "--retries", type=int, default=2,
-        help="transport retries before giving up (exponential backoff)",
-    )
+    _report_arguments(stats)
     stats.set_defaults(handler=_stats)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="print the unified repro_* metrics snapshot (json/table/prom)",
+    )
+    _report_arguments(metrics)
+    metrics.set_defaults(handler=_metrics)
 
     digest = commands.add_parser("digest", help="print a source file's content digest")
     digest.add_argument("--source", required=True)

@@ -33,6 +33,7 @@ from pathlib import Path
 from random import Random
 from typing import Dict, Optional, Union
 
+from repro.obs import trace as obs_trace
 from repro.service.errors import (
     ServiceError,
     ServiceUnavailable,
@@ -78,6 +79,8 @@ class ServiceClient:
         self.backoff_cap = backoff_cap
         self.fault_plan = fault_plan
         self._jitter = Random(jitter_seed)
+        #: requests issued through :meth:`request`
+        self.requests = 0
         #: transport failures that triggered a retry (observability)
         self.retried = 0
 
@@ -132,20 +135,35 @@ class ServiceClient:
         :class:`ServiceUnavailable` when every attempt failed in transport.
         """
         op = str(payload.get("op", "request"))
-        last: Optional[BaseException] = None
-        attempts = self.retries + 1
-        for attempt in range(attempts):
-            try:
-                return self._attempt(payload, op)
-            except _RETRYABLE as error:
-                last = error
-                if attempt + 1 < attempts:
-                    self.retried += 1
-                    time.sleep(self._backoff_delay(attempt))
-        raise ServiceUnavailable(
-            f"{op!r} request to {self.socket_path} failed after {attempts} "
-            f"attempt(s): {type(last).__name__}: {last}"
-        ) from last
+        self.requests += 1
+        with obs_trace.span("client.request", op=op) as request_span:
+            if request_span is not obs_trace.NULL_SPAN:
+                # the propagation handoff: the traceparent rides the JSON
+                # payload; the server parents its span under this one
+                payload = dict(payload)
+                payload["traceparent"] = request_span.context.to_traceparent()
+            last: Optional[BaseException] = None
+            attempts = self.retries + 1
+            for attempt in range(attempts):
+                try:
+                    return self._attempt(payload, op)
+                except _RETRYABLE as error:
+                    last = error
+                    if attempt + 1 < attempts:
+                        self.retried += 1
+                        delay = self._backoff_delay(attempt)
+                        request_span.add_event(
+                            "client.retry",
+                            attempt=attempt + 1,
+                            error=type(error).__name__,
+                            backoff=round(delay, 4),
+                        )
+                        time.sleep(delay)
+            request_span.set_tag("outcome", "unavailable")
+            raise ServiceUnavailable(
+                f"{op!r} request to {self.socket_path} failed after {attempts} "
+                f"attempt(s): {type(last).__name__}: {last}"
+            ) from last
 
     # -- operations -----------------------------------------------------------------
     def ping(self) -> bool:
@@ -190,7 +208,19 @@ class ServiceClient:
         return self.request({"op": "describe", "digest": digest})
 
     def stats(self) -> Dict[str, object]:
-        return self.request({"op": "stats"})
+        """The server's nested stats dict (deprecated key shapes preserved),
+        with this client's own transport counters under ``"client"``."""
+        stats = self.request({"op": "stats"})
+        stats["client"] = self.local_stats()
+        return stats
+
+    def metrics(self) -> Dict[str, object]:
+        """The server's unified metrics snapshot (``repro_*`` families)."""
+        return self.request({"op": "metrics"})
+
+    def local_stats(self) -> Dict[str, object]:
+        """This client's own counters (no round trip)."""
+        return {"requests": self.requests, "retried": self.retried}
 
     def shutdown(self) -> None:
         self.request({"op": "shutdown"})

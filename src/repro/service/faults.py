@@ -46,6 +46,8 @@ from collections import Counter
 from random import Random
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.obs import trace as obs_trace
+
 
 class FaultInjected(RuntimeError):
     """The error raised by an injected ``exec.exception`` fault — a stand-in
@@ -157,6 +159,8 @@ class FaultPlan:
                 cumulative += rate
                 if roll < cumulative:
                     self.injected[f"{site}.{mode}"] += 1
+                    if obs_trace.TRACING:
+                        obs_trace.add_event("fault.injected", site=site, mode=mode)
                     return mode
             return None
 

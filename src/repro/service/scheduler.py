@@ -55,6 +55,10 @@ from typing import Dict, Iterable, Optional, Tuple, Union
 from repro.api.artifacts import COUNTER_FIELDS
 from repro.api.session import Design, ProcessLike
 from repro.lang.printer import options_fingerprint
+from repro.obs import collect as obs_collect
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SlowQueryLog
 from repro.service.errors import (
     BackendCrashed,
     DeadlineExceeded,
@@ -119,20 +123,24 @@ class InlineBackend:
     def _verify(
         self, design: Design, prop: str, method: str, options: Dict[str, object]
     ):
-        if self.fault_plan is not None:
-            # a thread cannot crash the process alone: ``crash`` degrades
-            # to an injected exception here; ProcessPoolBackend gets the
-            # real thing
-            execute_worker_fault(self.fault_plan.exec_fault(), allow_crash=False)
-        with self._serialize:
-            return design.verify(prop, method, **options)
+        with obs_trace.span("backend.exec", backend=self.name, prop=prop):
+            if self.fault_plan is not None:
+                # a thread cannot crash the process alone: ``crash`` degrades
+                # to an injected exception here; ProcessPoolBackend gets the
+                # real thing
+                execute_worker_fault(self.fault_plan.exec_fault(), allow_crash=False)
+            with self._serialize:
+                return design.verify(prop, method, **options)
 
     async def run(
         self, design: Design, digest: str, prop: str, method: str, options: Dict[str, object]
     ) -> Dict[str, object]:
         loop = asyncio.get_running_loop()
+        # bind: executor threads don't inherit contextvars, so the trace
+        # context rides the callable into the worker thread explicitly
         verdict = await loop.run_in_executor(
-            self._executor, partial(self._verify, design, prop, method, options)
+            self._executor,
+            obs_trace.bind(partial(self._verify, design, prop, method, options)),
         )
         return verdict.to_dict()
 
@@ -166,24 +174,46 @@ def _initialize_worker(store_root: Optional[str]) -> None:
     _WORKER["store"] = ArtifactStore(store_root) if store_root else None
 
 
+#: the reserved verdict key worker spans ship back under (popped — and the
+#: spans adopted into the parent's tracer — before the verdict is cached)
+TRACE_SHIP_KEY = "_obs_spans"
+
+
 def _worker_query(task) -> Dict[str, object]:
     """One query in a pool worker: per-digest memoized sessions + shared store.
 
     ``fault`` is the parent's :meth:`FaultPlan.exec_fault` decision for this
     dispatch — drawn in the parent so the schedule stays deterministic, and
     executed here where a ``crash`` takes the real worker process down.
+
+    ``trace`` is the parent's traceparent (``None`` = tracing off): workers
+    are separate processes, so the context crosses in the task payload, the
+    worker records spans into its own tracer, and ships them back beside
+    the verdict under :data:`TRACE_SHIP_KEY` for the parent to adopt.
     """
     from repro.api.parallel import sanitize_verdict
 
-    digest, components, name, prop, method, options, fault = task
-    execute_worker_fault(fault, allow_crash=True)
-    designs: Dict[str, Design] = _WORKER["designs"]  # type: ignore[assignment]
-    design = designs.get(digest)
-    if design is None:
-        design = Design(name=name, components=list(components))
-        design.context.artifact_cache = _WORKER.get("store")
-        designs[digest] = design
-    return sanitize_verdict(design.verify(prop, method, **options)).to_dict()
+    digest, components, name, prop, method, options, fault, trace = task
+    parent_context = None
+    if trace is not None:
+        obs_trace.configure(enabled=True)
+        obs_trace.get_tracer().drain()  # a prior task's unshipped leftovers
+        parent_context = obs_trace.SpanContext.from_traceparent(trace)
+    with obs_trace.activate(parent_context):
+        with obs_trace.span(
+            "worker.exec", backend="process", prop=prop, digest=digest[:12]
+        ):
+            execute_worker_fault(fault, allow_crash=True)
+            designs: Dict[str, Design] = _WORKER["designs"]  # type: ignore[assignment]
+            design = designs.get(digest)
+            if design is None:
+                design = Design(name=name, components=list(components))
+                design.context.artifact_cache = _WORKER.get("store")
+                designs[digest] = design
+            verdict = sanitize_verdict(design.verify(prop, method, **options)).to_dict()
+    if trace is not None:
+        verdict[TRACE_SHIP_KEY] = obs_trace.get_tracer().drain()
+    return verdict
 
 
 class ProcessPoolBackend:
@@ -249,15 +279,35 @@ class ProcessPoolBackend:
     ) -> Dict[str, object]:
         loop = asyncio.get_running_loop()
         fault = self.fault_plan.exec_fault() if self.fault_plan is not None else None
+        trace = None
+        if obs_trace.TRACING:
+            context = obs_trace.current_context()
+            trace = context.to_traceparent() if context is not None else ""
         base = (digest, tuple(design.components), design.name, prop, method, options)
         for attempt in range(self.MAX_DISPATCHES):
             pool = self._pool
             try:
-                return await loop.run_in_executor(
-                    pool, partial(_worker_query, base + (fault,))
-                )
+                with obs_trace.span(
+                    "backend.dispatch", backend=self.name, attempt=attempt
+                ) as dispatch_span:
+                    carried = (
+                        dispatch_span.context.to_traceparent()
+                        if dispatch_span is not obs_trace.NULL_SPAN
+                        else trace
+                    )
+                    verdict = await loop.run_in_executor(
+                        pool, partial(_worker_query, base + (fault, carried))
+                    )
+                if trace is not None:
+                    shipped = verdict.pop(TRACE_SHIP_KEY, None)
+                    if shipped:
+                        obs_trace.get_tracer().adopt(shipped)
+                return verdict
             except BrokenProcessPool as error:
                 self._rebuild_pool(pool)
+                obs_trace.add_event(
+                    "backend.crash", backend=self.name, attempt=attempt
+                )
                 fault = None  # an injected crash fires once; re-dispatch clean
                 if attempt + 1 == self.MAX_DISPATCHES:
                     raise BackendCrashed(
@@ -266,6 +316,9 @@ class ProcessPoolBackend:
                         "re-dispatch"
                     ) from error
                 self.redispatched += 1
+                obs_trace.add_event(
+                    "backend.redispatch", backend=self.name, attempt=attempt + 1
+                )
 
     async def run_blocking(self, function):
         """Main-process session work, serialized and off the event loop."""
@@ -314,11 +367,25 @@ class VerificationService:
         cache_size: int = 1024,
         max_inflight: Optional[int] = None,
         max_queue: int = 0,
+        slow_query_threshold: float = 0.0,
     ):
         self.registry = registry or DesignRegistry()
         self.store = store
         self.backend = backend or InlineBackend()
         self.cache_size = cache_size
+        #: the unified observability surface of this service: every legacy
+        #: counter below is also scraped into the canonical ``repro_*``
+        #: namespace through these collectors (see :meth:`metrics`)
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector(obs_collect.service_collector(self))
+        if store is not None:
+            self.metrics.register_collector(obs_collect.store_collector(store))
+        self.metrics.register_collector(
+            obs_collect.tracer_collector(obs_trace.get_tracer())
+        )
+        #: computed queries slower than ``slow_query_threshold`` seconds
+        #: (0 = disabled) land here with their trace id and stage breakdown
+        self.slow_queries = SlowQueryLog(threshold=slow_query_threshold)
         #: admission control: at most ``max_inflight + max_queue`` *distinct*
         #: computations in flight (``None`` = unbounded — the historical
         #: behavior).  Cache hits and coalesced riders are always admitted;
@@ -401,55 +468,69 @@ class VerificationService:
         from repro.api.backends import canonical_property
 
         self.queries += 1
-        if isinstance(target, str) and _is_digest(target):
-            digest = self._resolve(target)  # a dict lookup: loop-safe
-        else:
-            # registration parses, normalizes and canonically prints — off
-            # the loop, and serialized with verification (shared sessions)
-            digest = await self.backend.run_blocking(partial(self.register, target))
-        key: QueryKey = (
-            digest,
-            canonical_property(prop),
-            method,
-            options_fingerprint(options),
-        )
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self.cache_hits += 1
-            return copy.deepcopy(cached)
-        task = self._inflight.get(key)
-        if task is None:
-            bound = self.max_inflight
-            if bound is not None and len(self._inflight) >= bound + self.max_queue:
-                self.rejected += 1
-                hint = self._retry_after_hint()
-                raise ServiceOverloaded(
-                    f"{len(self._inflight)} computations in flight (limit "
-                    f"{bound} + {self.max_queue} queued); retry in ~{hint:g}s",
-                    retry_after=hint,
+        with obs_trace.span("service.verify", prop=prop, method=method) as qspan:
+            if isinstance(target, str) and _is_digest(target):
+                digest = self._resolve(target)  # a dict lookup: loop-safe
+            else:
+                # registration parses, normalizes and canonically prints — off
+                # the loop, and serialized with verification (shared sessions)
+                digest = await self.backend.run_blocking(
+                    partial(self.register, target)
                 )
-            task = asyncio.ensure_future(self._compute(key, digest, prop, method, options))
-            # a failing computation whose every waiter timed out must not
-            # leave an unretrieved-exception warning behind
-            task.add_done_callback(_retrieve_exception)
-            self._inflight[key] = task
-        else:
-            self.coalesced += 1
-        # shield: one caller's cancellation must not abort the shared work;
-        # deep copy: a caller mutating its verdict must not corrupt the
-        # cached entry every other (and future) caller receives
-        waiter = asyncio.shield(task)
-        if deadline is None:
-            return copy.deepcopy(await waiter)
-        try:
-            return copy.deepcopy(await asyncio.wait_for(waiter, timeout=deadline))
-        except asyncio.TimeoutError:
-            self.deadline_exceeded += 1
-            raise DeadlineExceeded(
-                f"{prop!r} on {digest[:12]}… exceeded its {deadline:g}s deadline "
-                "(the shared computation continues for other callers)"
-            ) from None
+            qspan.set_tag("digest", digest[:12])
+            key: QueryKey = (
+                digest,
+                canonical_property(prop),
+                method,
+                options_fingerprint(options),
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                qspan.set_tag("outcome", "cache_hit")
+                return copy.deepcopy(cached)
+            task = self._inflight.get(key)
+            if task is None:
+                bound = self.max_inflight
+                if bound is not None and len(self._inflight) >= bound + self.max_queue:
+                    self.rejected += 1
+                    hint = self._retry_after_hint()
+                    qspan.set_tag("outcome", "rejected")
+                    raise ServiceOverloaded(
+                        f"{len(self._inflight)} computations in flight (limit "
+                        f"{bound} + {self.max_queue} queued); retry in ~{hint:g}s",
+                        retry_after=hint,
+                    )
+                qspan.set_tag("outcome", "computed")
+                task = asyncio.ensure_future(
+                    self._compute(key, digest, prop, method, options)
+                )
+                # a failing computation whose every waiter timed out must not
+                # leave an unretrieved-exception warning behind
+                task.add_done_callback(_retrieve_exception)
+                self._inflight[key] = task
+            else:
+                self.coalesced += 1
+                qspan.set_tag("outcome", "coalesced")
+                qspan.set_tag("coalesced", True)
+            # shield: one caller's cancellation must not abort the shared work;
+            # deep copy: a caller mutating its verdict must not corrupt the
+            # cached entry every other (and future) caller receives
+            waiter = asyncio.shield(task)
+            if deadline is None:
+                return copy.deepcopy(await waiter)
+            try:
+                return copy.deepcopy(
+                    await asyncio.wait_for(waiter, timeout=deadline)
+                )
+            except asyncio.TimeoutError:
+                self.deadline_exceeded += 1
+                qspan.set_tag("outcome", "deadline_exceeded")
+                raise DeadlineExceeded(
+                    f"{prop!r} on {digest[:12]}… exceeded its {deadline:g}s deadline "
+                    "(the shared computation continues for other callers)"
+                ) from None
 
     async def _stored_verdict(self, key: QueryKey) -> Optional[Dict[str, object]]:
         """A persisted verdict for this exact query, when the store has one.
@@ -461,7 +542,10 @@ class VerificationService:
         digest, prop, method, options_key = key
         loop = asyncio.get_running_loop()
         verdict = await loop.run_in_executor(
-            None, partial(self.store.load_verdict, digest, prop, method, options_key)
+            None,
+            obs_trace.bind(
+                partial(self.store.load_verdict, digest, prop, method, options_key)
+            ),
         )
         if verdict is not None:
             self.verdict_store_hits += 1
@@ -475,46 +559,69 @@ class VerificationService:
         method: str,
         options: Dict[str, object],
     ) -> Dict[str, object]:
+        # ensure_future copied the first caller's context, so this span —
+        # and everything below it, store reads included — parents under
+        # that caller's service.verify span; coalesced riders' own spans
+        # reference the same trace through the shared computation
+        compute_span = obs_trace.span(
+            "service.compute", prop=prop, method=method, digest=digest[:12]
+        )
         try:
-            verdict = await self._stored_verdict(key)
-            if verdict is None:
-                self.computations += 1
-                design = self.registry.get(digest)
-                started = time.perf_counter()
-                try:
-                    verdict = dict(
-                        await self.backend.run(design, digest, prop, method, dict(options))
+            with compute_span as cspan:
+                verdict = await self._stored_verdict(key)
+                if verdict is not None:
+                    cspan.set_tag("outcome", "store_hit")
+                else:
+                    cspan.set_tag("outcome", "computed")
+                    self.computations += 1
+                    design = self.registry.get(digest)
+                    started = time.perf_counter()
+                    try:
+                        verdict = dict(
+                            await self.backend.run(design, digest, prop, method, dict(options))
+                        )
+                    except asyncio.CancelledError:
+                        raise
+                    except ServiceError:
+                        self.failures += 1
+                        raise
+                    except Exception as error:
+                        # the correct-or-typed-error invariant: whatever escaped
+                        # the backend (a VerificationError, an injected fault, a
+                        # pickling problem) reaches callers as one typed class
+                        # with the original type and message preserved
+                        self.failures += 1
+                        raise QueryFailed(f"{type(error).__name__}: {error}") from error
+                    elapsed = time.perf_counter() - started
+                    self._ewma_seconds = (
+                        elapsed
+                        if self._ewma_samples == 0
+                        else 0.7 * self._ewma_seconds + 0.3 * elapsed
                     )
-                except asyncio.CancelledError:
-                    raise
-                except ServiceError:
-                    self.failures += 1
-                    raise
-                except Exception as error:
-                    # the correct-or-typed-error invariant: whatever escaped
-                    # the backend (a VerificationError, an injected fault, a
-                    # pickling problem) reaches callers as one typed class
-                    # with the original type and message preserved
-                    self.failures += 1
-                    raise QueryFailed(f"{type(error).__name__}: {error}") from error
-                elapsed = time.perf_counter() - started
-                self._ewma_seconds = (
-                    elapsed
-                    if self._ewma_samples == 0
-                    else 0.7 * self._ewma_seconds + 0.3 * elapsed
-                )
-                self._ewma_samples += 1
-                verdict["digest"] = digest
-                if self.store is not None:
-                    # best-effort: ArtifactStore.put absorbs write failures
-                    loop = asyncio.get_running_loop()
-                    await loop.run_in_executor(
-                        None,
-                        partial(
-                            self.store.store_verdict,
-                            key[0], key[1], key[2], key[3], verdict,
-                        ),
-                    )
+                    self._ewma_samples += 1
+                    if self.slow_queries.enabled:
+                        cost = verdict.get("cost") or {}
+                        self.slow_queries.observe(
+                            elapsed,
+                            digest,
+                            prop,
+                            method,
+                            trace_id=cspan.trace_id,
+                            stages=cost.get("stages") if isinstance(cost, dict) else None,
+                        )
+                    verdict["digest"] = digest
+                    if self.store is not None:
+                        # best-effort: ArtifactStore.put absorbs write failures
+                        loop = asyncio.get_running_loop()
+                        await loop.run_in_executor(
+                            None,
+                            obs_trace.bind(
+                                partial(
+                                    self.store.store_verdict,
+                                    key[0], key[1], key[2], key[3], verdict,
+                                )
+                            ),
+                        )
         finally:
             self._inflight.pop(key, None)
         self._cache[key] = verdict
@@ -618,6 +725,13 @@ class VerificationService:
         return [plan.stats() for plan in plans]
 
     def stats(self) -> Dict[str, object]:
+        """The historical nested stats dict.
+
+        These keys are **deprecated aliases**: the flat, canonically-named
+        view of the same counters is ``self.metrics.snapshot()`` (the
+        ``repro_*`` families served by ``repro-serve metrics``); the nested
+        shape is kept one release for existing consumers.
+        """
         return {
             "registry": self.registry.stats(),
             "backend": self.backend.describe(),
@@ -638,6 +752,7 @@ class VerificationService:
             "failures": self.failures,
             "faults": self.fault_stats(),
             "artifacts": self.artifact_stats(),
+            "slow_queries": self.slow_queries.stats(),
         }
 
     def close(self) -> None:

@@ -12,6 +12,8 @@ local Unix-domain socket.  Operations mirror the programmatic API:
                                        ``options`` — as in ``Design.verify``
 ``{"op": "describe", "digest": ...}``  per-process analysis summaries
 ``{"op": "stats"}``                    registry / store / scheduler counters
+``{"op": "metrics"}``                  the unified metrics snapshot
+                                       (``repro_*`` families; JSON)
 ``{"op": "shutdown"}``                 stop serving (used by tests and the CLI)
 ====================  ==========================================================
 
@@ -35,6 +37,7 @@ import json
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.obs import trace as obs_trace
 from repro.service.errors import ServiceError
 from repro.service.scheduler import VerificationService
 
@@ -86,6 +89,8 @@ class ServiceServer:
                 "requests": self.requests,
             }
             return stats
+        if op == "metrics":
+            return self.service.metrics.snapshot()
         if op == "shutdown":
             if self._stop is not None:
                 self._stop.set()
@@ -123,7 +128,17 @@ class ServiceServer:
                 self.requests += 1
                 try:
                     request = json.loads(line.decode("utf-8"))
-                    result = await self._dispatch(request)
+                    # the receiving half of the client's traceparent handoff:
+                    # this request's spans parent under the remote span
+                    remote = (
+                        obs_trace.extract(request) if obs_trace.TRACING else None
+                    )
+                    request.pop("traceparent", None)
+                    with obs_trace.activate(remote):
+                        with obs_trace.span(
+                            "server.request", op=str(request.get("op"))
+                        ):
+                            result = await self._dispatch(request)
                     response = {"ok": True, "result": result}
                 except ServiceError as error:
                     response = {

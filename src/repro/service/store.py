@@ -74,6 +74,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
+from repro.obs import trace as obs_trace
 from repro.service.faults import FaultPlan
 
 from repro.api.artifacts import verdict_kind
@@ -124,6 +125,10 @@ class ArtifactStore:
         self.write_errors = 0
         #: reads that failed with an injected OSError
         self.read_errors = 0
+        #: quarantined entries later rewritten by a put (self-heals completed)
+        self.healed = 0
+        #: (digest, kind) pairs quarantined and not yet healed
+        self._quarantined_keys: set = set()
 
     # -- raw object access -------------------------------------------------------
     def path(self, digest: str, kind: str) -> Path:
@@ -189,6 +194,9 @@ class ArtifactStore:
             except OSError:
                 return
         self.quarantined += 1
+        self._quarantined_keys.add((digest, kind))
+        if obs_trace.TRACING:
+            obs_trace.add_event("store.quarantine", digest=digest[:12], kind=kind)
 
     def get(self, digest: str, kind: str) -> Optional[Dict[str, object]]:
         """The stored payload, or ``None`` on a miss or a corrupt object.
@@ -197,27 +205,38 @@ class ArtifactStore:
         quarantined to ``corrupt/`` and reported as a miss; the caller's
         recomputation and the following :meth:`put` heal the entry.
         """
+        if not obs_trace.TRACING:
+            return self._read(digest, kind)[0]
+        with obs_trace.span(
+            "store.get", digest=digest[:12], kind=kind
+        ) as read_span:
+            payload, outcome = self._read(digest, kind)
+            read_span.set_tag("outcome", outcome)
+            return payload
+
+    def _read(self, digest: str, kind: str):
+        """``(payload, outcome)`` with outcome ∈ hit/miss/corrupt/read_error."""
         path = self.path(digest, kind)
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
             self.misses += 1
-            return None
+            return None, "miss"
         if self.fault_plan is not None:
             try:
                 text = self.fault_plan.store_read(text)
             except OSError:
                 self.read_errors += 1
                 self.misses += 1
-                return None
+                return None, "read_error"
         payload = self._decode(text)
         if payload is None:
             self._quarantine(path, digest, kind)
             self.invalid += 1
             self.misses += 1
-            return None
+            return None, "corrupt"
         self.hits += 1
-        return payload
+        return payload, "hit"
 
     def put(
         self, digest: str, kind: str, payload: Dict[str, object]
@@ -229,6 +248,18 @@ class ArtifactStore:
         injected fault) is absorbed and counted in ``write_errors`` rather
         than failing the computation whose result it was persisting.
         """
+        if not obs_trace.TRACING:
+            return self._write(digest, kind, payload)
+        with obs_trace.span(
+            "store.put", digest=digest[:12], kind=kind
+        ) as write_span:
+            path = self._write(digest, kind, payload)
+            write_span.set_tag("outcome", "ok" if path is not None else "error")
+            return path
+
+    def _write(
+        self, digest: str, kind: str, payload: Dict[str, object]
+    ) -> Optional[Path]:
         body = json.dumps(payload)
         if self.checksums:
             header = json.dumps(
@@ -266,6 +297,11 @@ class ArtifactStore:
             self.write_errors += 1
             return None
         self.writes += 1
+        if (digest, kind) in self._quarantined_keys:
+            self._quarantined_keys.discard((digest, kind))
+            self.healed += 1
+            if obs_trace.TRACING:
+                obs_trace.add_event("store.heal", digest=digest[:12], kind=kind)
         return path
 
     # -- the historical artifact_cache protocol (wraps the graph objects) ----------
@@ -356,6 +392,7 @@ class ArtifactStore:
             "verified": self.verified,
             "unverified": self.unverified,
             "quarantined": self.quarantined,
+            "healed": self.healed,
             "write_errors": self.write_errors,
             "read_errors": self.read_errors,
             "checksums": self.checksums,

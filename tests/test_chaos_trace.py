@@ -1,0 +1,201 @@
+"""Chaos × observability: injected faults show up in the query's trace.
+
+The chaos suite (:mod:`tests.test_chaos`) pins the *correctness* invariant
+under injected faults — correct verdict or typed error.  This file pins the
+*observability* half: when a fault fires inside a traced query, the
+recovery is visible as tagged events **in the originating query's trace**,
+on both backends —
+
+* store corruption → a ``store.quarantine`` event where the corrupt read
+  happened and a ``store.heal`` event where the recomputed artifact was
+  rewritten;
+* a worker crash on the process pool → ``backend.crash`` and
+  ``backend.redispatch`` events on the computing span, with the retry's
+  ``backend.dispatch``/``worker.exec`` spans in the same trace;
+* on the inline backend a crash degrades to an injected exception — the
+  ``fault.injected`` event still lands on the executing span.
+
+Fault schedules are seeded (rate-1.0 sites where a single deterministic
+firing is wanted), so every scenario replays exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import trace as obs_trace
+from repro.service import (
+    ArtifactStore,
+    FaultPlan,
+    InlineBackend,
+    ProcessPoolBackend,
+    QueryFailed,
+    VerificationService,
+)
+
+FILTER_SOURCE = """
+process filter (x) returns (y) {
+  y := x when x;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs_trace.reset()
+    yield
+    obs_trace.reset()
+
+
+def trace_of(tracer, span_name: str):
+    """All spans of the (single) trace containing a span named ``span_name``."""
+    matches = [span for span in tracer.spans if span["name"] == span_name]
+    assert matches, f"no {span_name!r} span collected"
+    trace_ids = {span["trace_id"] for span in matches}
+    assert len(trace_ids) == 1, f"{span_name!r} spans span multiple traces"
+    return tracer.trace(trace_ids.pop())
+
+
+def events_of(spans):
+    """``(span_name, event_name, event_tags)`` triples across ``spans``."""
+    return [
+        (span["name"], event["name"], event.get("tags", {}))
+        for span in spans
+        for event in span["events"]
+    ]
+
+
+def corrupt_store_objects(root) -> int:
+    objects = sorted((root / "objects").glob("*/*/*.json"))
+    assert objects, "the cold run must have persisted artifacts"
+    for path in objects:
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: max(1, len(text) // 2)], encoding="utf-8")
+    return len(objects)
+
+
+def persist_cold_run(root) -> None:
+    cold = VerificationService(store=ArtifactStore(root))
+    digest = cold.register(FILTER_SOURCE)
+    cold.verify_blocking(digest, "non-blocking", method="compiled")
+    cold.close()
+
+
+# ---------------------------------------------------------------------------
+# store corruption: quarantine + heal, in-trace
+# ---------------------------------------------------------------------------
+
+def test_corruption_and_heal_are_events_in_the_query_trace_inline(tmp_path):
+    root = tmp_path / "store"
+    persist_cold_run(root)
+    corrupt_store_objects(root)
+
+    obs_trace.configure(enabled=True)
+    service = VerificationService(store=ArtifactStore(root))
+    try:
+        digest = service.register(FILTER_SOURCE)
+        verdict = service.verify_blocking(digest, "non-blocking", method="compiled")
+        assert verdict["holds"] is True
+        assert service.computations == 1, "nothing on disk was trustworthy"
+    finally:
+        service.close()
+
+    spans = trace_of(obs_trace.get_tracer(), "service.verify")
+    triples = events_of(spans)
+    quarantines = [t for t in triples if t[1] == "store.quarantine"]
+    heals = [t for t in triples if t[1] == "store.heal"]
+    assert quarantines, "the corrupt read must be visible in the trace"
+    assert heals, "the self-heal rewrite must be visible in the trace"
+    # quarantines happen where the read happened, heals where the write did
+    assert all(span_name == "store.get" for span_name, _, _ in quarantines)
+    assert all(span_name == "store.put" for span_name, _, _ in heals)
+    # the store's own counters agree with what the trace shows
+    store_stats = service.stats()["store"]
+    assert store_stats["quarantined"] >= len(quarantines)
+    assert store_stats["healed"] >= len(heals)
+
+
+def test_corruption_and_heal_are_events_in_the_query_trace_process(tmp_path):
+    root = tmp_path / "store"
+    persist_cold_run(root)
+    corrupt_store_objects(root)
+
+    obs_trace.configure(enabled=True)
+    service = VerificationService(
+        store=ArtifactStore(root),
+        backend=ProcessPoolBackend(workers=1, store_root=root),
+    )
+    try:
+        digest = service.register(FILTER_SOURCE)
+        verdict = service.verify_blocking(digest, "non-blocking", method="compiled")
+        assert verdict["holds"] is True
+    finally:
+        service.close()
+
+    spans = trace_of(obs_trace.get_tracer(), "service.verify")
+    triples = events_of(spans)
+    assert any(t[1] == "store.quarantine" for t in triples)
+    assert any(t[1] == "store.heal" for t in triples)
+    # at least one quarantine was observed by the worker process — its
+    # shipped spans joined the same trace
+    pids = {span["pid"] for span in spans}
+    assert len(pids) == 2, "the trace must cross the process boundary"
+
+
+# ---------------------------------------------------------------------------
+# worker crash: crash + redispatch, in-trace
+# ---------------------------------------------------------------------------
+
+def test_worker_crash_and_redispatch_are_events_in_the_query_trace():
+    plan = FaultPlan(seed=0, rates={"exec.crash": 1.0})
+    obs_trace.configure(enabled=True)
+    service = VerificationService(
+        backend=ProcessPoolBackend(workers=1, fault_plan=plan)
+    )
+    try:
+        digest = service.register(FILTER_SOURCE)
+        verdict = service.verify_blocking(digest, "non-blocking", method="compiled")
+        assert verdict["holds"] is True
+        assert plan.injected["exec.crash"] == 1
+    finally:
+        service.close()
+
+    tracer = obs_trace.get_tracer()
+    spans = trace_of(tracer, "service.verify")
+    triples = events_of(spans)
+    crashes = [t for t in triples if t[1] == "backend.crash"]
+    redispatches = [t for t in triples if t[1] == "backend.redispatch"]
+    assert len(crashes) == 1 and len(redispatches) == 1
+    # both land on the span that owns the dispatch loop
+    assert crashes[0][0] == "service.compute"
+    assert redispatches[0][0] == "service.compute"
+    assert crashes[0][2]["attempt"] == 0
+    assert redispatches[0][2]["attempt"] == 1
+    # both dispatch attempts are spans of the same trace; only the clean
+    # retry produced a worker.exec span (the crashed worker died mid-task)
+    dispatches = [span for span in spans if span["name"] == "backend.dispatch"]
+    assert [span["tags"]["attempt"] for span in dispatches] == [0, 1]
+    workers = [span for span in spans if span["name"] == "worker.exec"]
+    assert len(workers) == 1
+    assert workers[0]["parent_id"] == dispatches[1]["span_id"]
+
+
+def test_inline_crash_degrades_to_a_traced_injected_exception():
+    plan = FaultPlan(seed=0, rates={"exec.crash": 1.0})
+    obs_trace.configure(enabled=True)
+    service = VerificationService(backend=InlineBackend(fault_plan=plan))
+    try:
+        digest = service.register(FILTER_SOURCE)
+        with pytest.raises(QueryFailed):
+            service.verify_blocking(digest, "non-blocking", method="compiled")
+    finally:
+        service.close()
+
+    spans = trace_of(obs_trace.get_tracer(), "service.verify")
+    triples = events_of(spans)
+    injections = [t for t in triples if t[1] == "fault.injected"]
+    assert injections, "the injected fault must be visible in the trace"
+    span_name, _, tags = injections[0]
+    assert span_name == "backend.exec"
+    assert tags["site"] == "exec" and tags["mode"] == "crash"

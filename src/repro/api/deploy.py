@@ -25,11 +25,20 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.codegen.batch import (
+    BatchCompilationError,
+    BatchOverflowError,
+    BatchProgram,
+    FleetResult,
+)
 from repro.codegen.concurrent import ConcurrentComposition
 from repro.codegen.controller import ControlledComposition, synthesize_controller
 from repro.codegen.runtime import EndOfStream, StreamIO
 from repro.codegen.sequential import CompiledProcess, compile_process
+from repro.codegen.specialized import compile_interpreted, compile_specialized
 from repro.lang.normalize import NormalizedProcess
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.semantics.interpreter import ABSENT, SignalInterpreter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -37,15 +46,37 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 STRATEGIES = ("sequential", "controlled", "concurrent", "ltta")
 
+#: execution tiers for the generated step functions (see docs/architecture.md):
+#: ``interpreter`` walks the scheduled ops with one dispatch per op,
+#: ``compiled`` is the exec-compiled step function of Section 3.6,
+#: ``specialized`` additionally binds IO and delay registers into closures,
+#: ``batched`` steps a whole fleet of instances per call on numpy lanes.
+RUNTIMES = ("compiled", "specialized", "interpreter", "batched")
+
+_COMPONENT_COMPILERS = {
+    "compiled": compile_process,
+    "specialized": compile_specialized,
+    "interpreter": compile_interpreted,
+}
+
 
 class DeploymentError(Exception):
     """Raised when a design cannot be deployed with the requested strategy."""
+
+
+def _record_run(strategy: str, runtime: str, steps: int, instances: int = 1) -> None:
+    labels = {"strategy": strategy, "runtime": runtime}
+    obs_metrics.GLOBAL.counter("repro_deploy_runs_total", labels).inc()
+    obs_metrics.GLOBAL.counter("repro_deploy_steps_total", labels).inc(steps)
+    obs_metrics.GLOBAL.counter("repro_deploy_instances_total", labels).inc(instances)
 
 
 class Deployment:
     """Common surface of the four execution schemes."""
 
     strategy: str = "abstract"
+    #: which execution tier backs :meth:`step` / :meth:`run` (see ``RUNTIMES``)
+    runtime: str = "compiled"
 
     @property
     def inputs(self) -> Tuple[str, ...]:
@@ -68,10 +99,22 @@ class Deployment:
         """Reset, iterate until the inputs run dry, return the output flows."""
         self.reset()
         io = StreamIO({name: list(values) for name, values in inputs.items()})
+        if obs_trace.TRACING:
+            with obs_trace.span(
+                "deploy.run", strategy=self.strategy, runtime=self.runtime
+            ) as active:
+                steps = self._drive(io, max_steps)
+                active.set_tag("steps", steps)
+        else:
+            steps = self._drive(io, max_steps)
+        _record_run(self.strategy, self.runtime, steps)
+        return {name: io.output(name) for name in self.outputs}
+
+    def _drive(self, io: StreamIO, max_steps: int) -> int:
         steps = 0
         while steps < max_steps and self.step(io):
             steps += 1
-        return {name: io.output(name) for name in self.outputs}
+        return steps
 
     def listing(self) -> str:
         """A C-like rendering of the deployed code (paper-figure style)."""
@@ -83,9 +126,18 @@ class SequentialDeployment(Deployment):
 
     strategy = "sequential"
 
-    def __init__(self, design: "Design", master_clocks: bool = False):
+    def __init__(
+        self, design: "Design", master_clocks: bool = False, runtime: str = "compiled"
+    ):
+        if runtime not in _COMPONENT_COMPILERS:
+            raise DeploymentError(
+                f"unknown runtime {runtime!r} for the sequential strategy; "
+                f"expected one of {tuple(_COMPONENT_COMPILERS)} (or 'batched' "
+                "via BatchedDeployment)"
+            )
         self.design = design
-        self.compiled: CompiledProcess = compile_process(
+        self.runtime = runtime
+        self.compiled = _COMPONENT_COMPILERS[runtime](
             design.analysis, master_clocks=master_clocks
         )
 
@@ -107,8 +159,19 @@ class SequentialDeployment(Deployment):
     def step(self, io: StreamIO) -> bool:
         return self.compiled.step(io)
 
+    def _drive(self, io: StreamIO, max_steps: int) -> int:
+        # every tier carries its own run loop; the specialized one in
+        # particular iterates a bound closure with no per-step dispatch
+        return self.compiled.run(io, max_steps)
+
     def listing(self) -> str:
-        return self.compiled.c_source
+        source = getattr(self.compiled, "c_source", None)
+        if source is not None:
+            return source
+        return compile_process(
+            self.design.analysis,
+            master_clocks=bool(self.compiled.master_clock_inputs),
+        ).c_source
 
 
 class ControlledDeployment(Deployment):
@@ -116,9 +179,10 @@ class ControlledDeployment(Deployment):
 
     strategy = "controlled"
 
-    def __init__(self, design: "Design"):
+    def __init__(self, design: "Design", runtime: str = "compiled"):
         self.design = design
-        compiled = _compile_components(design)
+        self.runtime = runtime
+        compiled = _compile_components(design, runtime)
         self.controlled: ControlledComposition = synthesize_controller(
             compiled, design.criterion()
         )
@@ -150,9 +214,10 @@ class ConcurrentDeployment(Deployment):
 
     strategy = "concurrent"
 
-    def __init__(self, design: "Design", max_steps: int = 10_000):
+    def __init__(self, design: "Design", max_steps: int = 10_000, runtime: str = "compiled"):
         self.design = design
-        self._compiled = _compile_components(design)
+        self.runtime = runtime
+        self._compiled = _compile_components(design, runtime)
         controlled = synthesize_controller(self._compiled, design.criterion())
         self.constraints = list(controlled.constraints)
         self._controlled = controlled  # kept for the listing only
@@ -184,7 +249,9 @@ class ConcurrentDeployment(Deployment):
         composition = ConcurrentComposition(
             self._compiled, self.constraints, max_steps or self.max_steps
         )
-        outputs = composition.run(inputs)
+        with obs_trace.span("deploy.run", strategy=self.strategy, runtime=self.runtime):
+            outputs = composition.run(inputs)
+        _record_run(self.strategy, self.runtime, steps=0)
         return {name: outputs.get(name, []) for name in self.outputs}
 
     def listing(self) -> str:
@@ -207,6 +274,7 @@ class LttaDeployment(Deployment):
     """
 
     strategy = "ltta"
+    runtime = "interpreter"
 
     def __init__(self, design: "Design", paces: Optional[Mapping[str, int]] = None):
         self.design = design
@@ -296,6 +364,168 @@ class LttaDeployment(Deployment):
         return "\n".join(lines)
 
 
+class BatchedDeployment(Deployment):
+    """The fleet tier: one call steps thousands of independent instances.
+
+    Compiles the design once (sequential schedule, Section 3.6 / 5.1) into
+    two engines: the vectorized numpy kernel of :mod:`repro.codegen.batch`
+    for instances inside the bool/int64 fragment, and the scalar
+    :class:`~repro.codegen.specialized.SpecializedProcess` for the rest —
+    results are lane-identical either way.  ``run(inputs)`` executes one
+    instance; :meth:`run_many` executes a whole fleet and reports how many
+    lanes took each path.
+    """
+
+    strategy = "sequential"
+    runtime = "batched"
+
+    def __init__(
+        self, design: "Design", master_clocks: bool = False, max_steps: int = 1_000_000
+    ):
+        self.design = design
+        self.max_steps = max_steps
+        self._specialized = compile_specialized(
+            design.analysis, master_clocks=master_clocks
+        )
+        self._batch: Optional[BatchProgram] = None
+        self._batch_unavailable: Optional[str] = None
+        try:
+            self._batch = BatchProgram(self._specialized.program)
+        except BatchCompilationError as error:
+            self._batch_unavailable = str(error)
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return self._specialized.inputs
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return self._specialized.outputs
+
+    @property
+    def master_clock_inputs(self) -> List[str]:
+        return list(self._specialized.master_clock_inputs)
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the design itself compiled to the numpy fast path."""
+        return self._batch is not None
+
+    def batch_source(self) -> Optional[str]:
+        """The generated numpy kernel source (None outside the fragment)."""
+        return self._batch.python_source if self._batch is not None else None
+
+    def reset(self) -> None:
+        self._specialized.reset()
+
+    def step(self, io: StreamIO) -> bool:
+        raise DeploymentError(
+            "the batched runtime executes whole fleets; use run(inputs) for one "
+            "instance or run_many(instances) for a batch — or runtime="
+            "'specialized' for step-by-step execution of the same schedule"
+        )
+
+    def run(
+        self, inputs: Mapping[str, Sequence[object]], max_steps: Optional[int] = None
+    ) -> Dict[str, List[object]]:
+        return self.run_many([inputs], max_steps=max_steps).outputs[0]
+
+    def run_many(
+        self,
+        instances: Sequence[Mapping[str, Sequence[object]]],
+        max_steps: Optional[int] = None,
+    ) -> FleetResult:
+        """Run every instance to stream exhaustion, vectorizing where possible."""
+        limit = self.max_steps if max_steps is None else max_steps
+        if obs_trace.TRACING:
+            with obs_trace.span(
+                "deploy.run",
+                strategy=self.strategy,
+                runtime=self.runtime,
+                instances=len(instances),
+            ) as active:
+                result = self._run_many(instances, limit)
+                active.set_tag("steps", sum(result.steps))
+                active.set_tag("vectorized", result.vectorized)
+                active.set_tag("fallback", result.fallback)
+        else:
+            result = self._run_many(instances, limit)
+        _record_run(
+            self.strategy, self.runtime, sum(result.steps), instances=len(instances)
+        )
+        registry = obs_metrics.GLOBAL
+        registry.counter("repro_deploy_batch_lanes_total", {"path": "vectorized"}).inc(
+            result.vectorized
+        )
+        registry.counter("repro_deploy_batch_lanes_total", {"path": "fallback"}).inc(
+            result.fallback
+        )
+        if instances:
+            registry.gauge("repro_deploy_batch_occupancy").set(
+                result.vectorized / len(instances)
+            )
+        return result
+
+    def _run_many(
+        self, instances: Sequence[Mapping[str, Sequence[object]]], limit: int
+    ) -> FleetResult:
+        n = len(instances)
+        results: List[Optional[Tuple[int, Dict[str, List[object]]]]] = [None] * n
+        vector_rows: List[int] = []
+        staged = None
+        batch = self._batch
+        if batch is not None and n:
+            # fast path: stage the whole fleet in one numpy pass — eligibility
+            # falls out of the conversion itself, so an all-eligible fleet
+            # skips the per-lane Python scans entirely
+            staged = batch.stage_fleet(instances)
+            if staged is not None:
+                vector_rows = list(range(n))
+            else:
+                vector_rows = [
+                    index
+                    for index in range(n)
+                    if batch.lane_vectorizable(instances[index])
+                ]
+        if vector_rows:
+            try:
+                if staged is not None:
+                    steps, outputs = batch.run_staged(staged, n, max_steps=limit)
+                else:
+                    steps, outputs = batch.run_many(
+                        [instances[index] for index in vector_rows], max_steps=limit
+                    )
+            except BatchOverflowError:
+                # a numeric lane approached the int64 range: redo the whole
+                # batch on the scalar tier, which carries exact big ints
+                vector_rows = []
+            else:
+                for position, index in enumerate(vector_rows):
+                    results[index] = (steps[position], outputs[position])
+        fallback = 0
+        engine = self._specialized
+        for index in range(n):
+            if results[index] is not None:
+                continue
+            fallback += 1
+            engine.reset()
+            io = StreamIO({name: list(values) for name, values in instances[index].items()})
+            steps_taken = engine.run(io, limit)
+            results[index] = (
+                steps_taken,
+                {name: io.output(name) for name in engine.outputs},
+            )
+        return FleetResult(
+            outputs=[entry[1] for entry in results],
+            steps=[entry[0] for entry in results],
+            vectorized=len(vector_rows),
+            fallback=fallback,
+        )
+
+    def listing(self) -> str:
+        return self._specialized.c_source
+
+
 def _shared_signals(components: Sequence[NormalizedProcess]) -> Set[str]:
     produced: Set[str] = set()
     consumed: Set[str] = set()
@@ -330,9 +560,15 @@ def _dependency_order(components: Sequence[NormalizedProcess]) -> List[Normalize
     return [by_name[name] for name in order]
 
 
-def _compile_components(design: "Design") -> List[CompiledProcess]:
+def _compile_components(design: "Design", runtime: str = "compiled") -> List[object]:
     """Separately compile every component, reusing the session's analyses."""
-    compiled: List[CompiledProcess] = []
+    compiler = _COMPONENT_COMPILERS.get(runtime)
+    if compiler is None:
+        raise DeploymentError(
+            f"unknown runtime {runtime!r} for the compositional strategies; "
+            f"expected one of {tuple(_COMPONENT_COMPILERS)}"
+        )
+    compiled: List[object] = []
     for component in design.components:
         analysis = design.context.analysis(component)
         if not analysis.is_compilable() or not analysis.is_hierarchic():
@@ -342,18 +578,42 @@ def _compile_components(design: "Design") -> List[CompiledProcess]:
                 "the compositional schemes of Section 5.2 compile components separately "
                 "and need each of them endochronous"
             )
-        compiled.append(compile_process(analysis))
+        compiled.append(compiler(analysis))
     return compiled
 
 
-def build_deployment(design: "Design", strategy: str = "sequential", **options) -> Deployment:
-    """Instantiate the deployment scheme named by ``strategy``."""
+def build_deployment(
+    design: "Design", strategy: str = "sequential", runtime: str = "compiled", **options
+) -> Deployment:
+    """Instantiate the deployment scheme named by ``strategy``.
+
+    ``runtime`` selects the execution tier (see ``RUNTIMES``): the sequential
+    strategy accepts all four (``"batched"`` yields the fleet-capable
+    :class:`BatchedDeployment`); the compositional strategies accept
+    ``"compiled"`` / ``"specialized"`` / ``"interpreter"`` per component.
+    """
+    if runtime not in RUNTIMES:
+        raise DeploymentError(f"unknown runtime {runtime!r}; expected one of {RUNTIMES}")
     if strategy == "sequential":
-        return SequentialDeployment(design, master_clocks=bool(options.get("master_clocks")))
+        master_clocks = bool(options.get("master_clocks"))
+        if runtime == "batched":
+            return BatchedDeployment(
+                design,
+                master_clocks=master_clocks,
+                max_steps=int(options.get("max_steps", 1_000_000)),
+            )
+        return SequentialDeployment(design, master_clocks=master_clocks, runtime=runtime)
+    if runtime == "batched":
+        raise DeploymentError(
+            "the 'batched' runtime applies to the sequential strategy only "
+            "(the compositional schemes synchronize per step)"
+        )
     if strategy == "controlled":
-        return ControlledDeployment(design)
+        return ControlledDeployment(design, runtime=runtime)
     if strategy == "concurrent":
-        return ConcurrentDeployment(design, max_steps=int(options.get("max_steps", 10_000)))
+        return ConcurrentDeployment(
+            design, max_steps=int(options.get("max_steps", 10_000)), runtime=runtime
+        )
     if strategy == "ltta":
         return LttaDeployment(design, paces=options.get("paces"))
     raise DeploymentError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")

@@ -968,17 +968,25 @@ class Design:
             store_root=self.context.store_root(),
         )
 
-    def compile(self, strategy: str = "sequential", **options):
+    def compile(self, strategy: str = "sequential", runtime: str = "compiled", **options):
         """Deploy the design; returns a :class:`~repro.api.deploy.Deployment`.
 
         ``strategy`` is ``"sequential"`` (Section 3.6 / 5.1), ``"controlled"``
         (the synthesized controller of Section 5.2), ``"concurrent"`` (threads
         and barriers) or ``"ltta"`` (quasi-synchronous execution with sustained
         shared signals, Section 4.2).
+
+        ``runtime`` selects the execution tier behind the step functions:
+        ``"compiled"`` (the exec-compiled code of Section 3.6, the default),
+        ``"specialized"`` (IO and delay registers bound into closures — no
+        per-step dictionary lookups), ``"interpreter"`` (one dispatch per
+        scheduled operation; the measured baseline) or ``"batched"`` (the
+        numpy fleet runtime of :mod:`repro.codegen.batch`, sequential
+        strategy only — its deployment adds ``run_many(instances)``).
         """
         from repro.api.deploy import build_deployment
 
-        return build_deployment(self, strategy, **options)
+        return build_deployment(self, strategy, runtime=runtime, **options)
 
     # -- reporting ----------------------------------------------------------------
     def stats(self) -> Dict[str, object]:

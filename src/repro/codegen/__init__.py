@@ -4,7 +4,14 @@
   ``main``-style iterate loop of Section 3.6;
 * :mod:`repro.codegen.sequential` — sequential code generation for
   endochronous (hierarchic) processes: a Python step function (compiled and
-  executable) and a C-like listing mirroring the paper's figures;
+  executable), a C-like listing mirroring the paper's figures, and the
+  scheduled :class:`~repro.codegen.sequential.StepProgram` the execution
+  tiers compile from;
+* :mod:`repro.codegen.specialized` — the closure-specialized execution tier
+  (IO and delay registers bound once per stream) and the per-step-dispatch
+  reference interpreter it is benchmarked against;
+* :mod:`repro.codegen.batch` — the vectorized fleet runtime: numpy lanes
+  stepping thousands of independent deployment instances per call;
 * :mod:`repro.codegen.clusters` — grouping of signals by clock class;
 * :mod:`repro.codegen.controller` — the compositional scheme of Section 5.2:
   a synthesized controller that schedules separately compiled endochronous
@@ -14,7 +21,27 @@
 """
 
 from repro.codegen.runtime import EndOfStream, StreamIO, RecordingIO, simulate
-from repro.codegen.sequential import CompiledProcess, CodeGenerationError, compile_process
+from repro.codegen.sequential import (
+    CompiledProcess,
+    CodeGenerationError,
+    StepOp,
+    StepProgram,
+    build_step_program,
+    compile_process,
+)
+from repro.codegen.specialized import (
+    InterpretedProcess,
+    SpecializedProcess,
+    compile_interpreted,
+    compile_specialized,
+)
+from repro.codegen.batch import (
+    BatchCompilationError,
+    BatchOverflowError,
+    BatchProgram,
+    FleetResult,
+    compile_batch,
+)
 from repro.codegen.clusters import clock_clusters
 from repro.codegen.controller import (
     ClockConstraintSpec,
@@ -30,7 +57,19 @@ __all__ = [
     "simulate",
     "CompiledProcess",
     "CodeGenerationError",
+    "StepOp",
+    "StepProgram",
+    "build_step_program",
     "compile_process",
+    "InterpretedProcess",
+    "SpecializedProcess",
+    "compile_interpreted",
+    "compile_specialized",
+    "BatchCompilationError",
+    "BatchOverflowError",
+    "BatchProgram",
+    "FleetResult",
+    "compile_batch",
     "clock_clusters",
     "ClockConstraintSpec",
     "ControlledComposition",

@@ -100,6 +100,9 @@ class ConcurrentComposition:
                 for index, constraint in enumerate(self.constraints)
                 if constraint.literal_for(compiled.process.name) is not None
             ]
+            # one persistent wrapper per thread: a stable IO identity keeps
+            # the specialized tier's bound step closure valid across steps
+            wrapped = _PrefetchedIO({}, io)
             try:
                 for _ in range(self.max_steps):
                     peeked: Dict[str, object] = {}
@@ -123,7 +126,7 @@ class ConcurrentComposition:
                     )
                     for index in synchronized:
                         barriers[index][0].wait(timeout=5.0)
-                    wrapped = _PrefetchedIO(peeked, io)
+                    wrapped.refill(peeked)
                     if produces_shared or not synchronized:
                         if not compiled.step(wrapped):
                             return
@@ -156,11 +159,18 @@ class ConcurrentComposition:
 
 
 class _PrefetchedIO:
-    """Serve values already read during constraint evaluation, then delegate."""
+    """Serve values already read during constraint evaluation, then delegate.
+
+    Persistent per thread and :meth:`refill`-ed each step, so the specialized
+    execution tier binds it once.
+    """
 
     def __init__(self, prefetched: Dict[str, object], inner: _ThreadIO):
         self._prefetched = dict(prefetched)
         self._inner = inner
+
+    def refill(self, prefetched: Dict[str, object]) -> None:
+        self._prefetched = dict(prefetched)
 
     def read(self, name: str) -> object:
         if name in self._prefetched:

@@ -67,7 +67,14 @@ class ClockConstraintSpec:
 
 
 class _ComponentIO:
-    """IO adapter serving a component from pre-read inputs and shared values."""
+    """IO adapter serving a component from pre-read inputs and shared values.
+
+    The adapter is persistent: one instance per component lives across global
+    steps and is :meth:`rebind`-ed with the step's fresh inputs.  A stable IO
+    identity lets the specialized execution tier
+    (:class:`~repro.codegen.specialized.SpecializedProcess`) keep its bound
+    step closure across steps instead of recompiling the binding each time.
+    """
 
     def __init__(
         self,
@@ -82,6 +89,17 @@ class _ComponentIO:
         self._outer = outer
         self._shared_outputs = shared_outputs
         self._shared_store = shared_store
+
+    def rebind(
+        self,
+        external: Mapping[str, object],
+        shared_in: Mapping[str, object],
+        outer: StreamIO,
+    ) -> None:
+        """Point the adapter at this step's values, keeping its identity."""
+        self._external = dict(external)
+        self._shared_in = dict(shared_in)
+        self._outer = outer
 
     def read(self, name: str) -> object:
         if name in self._external:
@@ -104,6 +122,7 @@ class _ComponentState:
     compiled: CompiledProcess
     pending_inputs: Dict[str, object] = field(default_factory=dict)
     arrived: Dict[int, bool] = field(default_factory=dict)  # constraint index -> waiting
+    io: Optional[_ComponentIO] = None  # persistent adapter, rebound per step
 
 
 class ControlledComposition:
@@ -185,7 +204,9 @@ class ControlledComposition:
             state.pending_inputs = {}
             for index in state.arrived:
                 state.arrived[index] = False
-        self._shared_store = {}
+        # cleared in place: the persistent per-component IO adapters hold a
+        # reference to this dict
+        self._shared_store.clear()
 
     # -- one controlled global step ------------------------------------------------------
     def step(self, io: StreamIO) -> bool:
@@ -242,17 +263,23 @@ class ControlledComposition:
             )
             if not may_run:
                 continue
-            component_io = _ComponentIO(
-                external=fresh_inputs[name],
-                shared_in={
-                    signal: self._shared_store[signal]
-                    for signal in state.compiled.process.inputs
-                    if signal in self._shared_signals and signal in self._shared_store
-                },
-                outer=io,
-                shared_outputs=self._shared_signals & set(state.compiled.process.outputs),
-                shared_store=self._shared_store,
-            )
+            shared_in = {
+                signal: self._shared_store[signal]
+                for signal in state.compiled.process.inputs
+                if signal in self._shared_signals and signal in self._shared_store
+            }
+            component_io = state.io
+            if component_io is None:
+                component_io = state.io = _ComponentIO(
+                    external=fresh_inputs[name],
+                    shared_in=shared_in,
+                    outer=io,
+                    shared_outputs=self._shared_signals
+                    & set(state.compiled.process.outputs),
+                    shared_store=self._shared_store,
+                )
+            else:
+                component_io.rebind(fresh_inputs[name], shared_in, io)
             if not state.compiled.step(component_io):
                 return False
             state.pending_inputs = {}

@@ -94,6 +94,33 @@ _C_UNARY = {
     "id": "{0}",
 }
 
+# numpy-elementwise renderings of the same operators, used by the batch
+# runtime (:mod:`repro.codegen.batch`).  ``None`` marks an operator outside
+# the vectorizable fragment: ``*`` and ``/`` are excluded so the int64 lanes
+# grow at most additively per step, which makes the batch runtime's overflow
+# guard sound (see ``StepOp.guard``).
+_ARRAY_OPERATORS = {
+    "+": "({0} + {1})",
+    "-": "({0} - {1})",
+    "*": None,
+    "/": None,
+    "and": "({0} & {1})",
+    "or": "({0} | {1})",
+    "xor": "({0} != {1})",
+    "=": "({0} == {1})",
+    "/=": "({0} != {1})",
+    "<": "({0} < {1})",
+    "<=": "({0} <= {1})",
+    ">": "({0} > {1})",
+    ">=": "({0} >= {1})",
+}
+
+_ARRAY_UNARY = {
+    "not": "(~{0})",
+    "-": "(-{0})",
+    "id": "{0}",
+}
+
 
 def _presence_var(name: str) -> str:
     return f"p_{name}"
@@ -113,6 +140,61 @@ def _c_constant(value: object) -> str:
     return repr(value)
 
 
+@dataclass(frozen=True)
+class StepOp:
+    """One semantic operation of a step function, in schedule order.
+
+    The textual listings (Python / C sources) are renderings of this stream;
+    the specialized and batch runtimes of :mod:`repro.codegen.specialized`
+    and :mod:`repro.codegen.batch` compile it directly instead of re-parsing
+    the text.  Kinds:
+
+    * ``"master_read"`` — unconditionally read the master-clock input ``target``;
+    * ``"presence"`` — ``p_<target> = py_expr``;
+    * ``"read"`` — if present, read input ``target`` from the environment;
+    * ``"delay"`` — if present, ``v_<target>`` is the delay register ``register``;
+    * ``"compute"`` — if present, ``v_<target> = py_expr``;
+    * ``"write"`` — if present, emit ``v_<target>`` to the environment;
+    * ``"update"`` — if ``source`` is present, store ``v_<source>`` into
+      ``register``.
+
+    ``array_expr`` is the numpy-elementwise rendering (``None`` when the
+    expression falls outside the vectorizable fragment); ``guard`` marks
+    numeric computations whose magnitude can grow (``+`` / ``-``), which the
+    batch runtime bounds with an overflow check.
+    """
+
+    kind: str
+    target: str
+    py_expr: Optional[str] = None
+    array_expr: Optional[str] = None
+    register: Optional[str] = None
+    source: Optional[str] = None
+    guard: bool = False
+
+
+@dataclass(frozen=True)
+class StepProgram:
+    """The scheduled semantic program of one process's step function."""
+
+    process: NormalizedProcess
+    ops: Tuple[StepOp, ...]
+    initial_state: Dict[str, object]
+    master_clock_inputs: Tuple[str, ...]
+
+    @property
+    def types(self) -> Dict[str, str]:
+        return self.process.types
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return tuple(self.process.inputs) + self.master_clock_inputs
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return tuple(self.process.outputs)
+
+
 @dataclass
 class _Statement:
     """One emitted statement: target slot, Python lines, C lines, dependencies."""
@@ -121,6 +203,7 @@ class _Statement:
     python_lines: List[str]
     c_lines: List[str]
     dependencies: Set[Slot] = field(default_factory=set)
+    op: Optional[StepOp] = None
 
 
 @dataclass
@@ -131,6 +214,7 @@ class _Candidate:
     c_expr: str
     dependencies: Set[Slot]
     origin: str
+    array_expr: Optional[str] = None
 
 
 class _Generator:
@@ -175,13 +259,15 @@ class _Generator:
             ]
 
     # -- clock expression translation --------------------------------------------------
-    def _clock_expr(self, expression: ClockExpressionSyntax) -> Tuple[str, str, Set[Slot]]:
-        """Translate a clock expression into (python, c, dependencies)."""
+    def _clock_expr(
+        self, expression: ClockExpressionSyntax
+    ) -> Tuple[str, str, str, Set[Slot]]:
+        """Translate a clock expression into (python, c, array, dependencies)."""
         if isinstance(expression, ClockEmpty):
-            return "False", "FALSE", set()
+            return "False", "FALSE", "_zeros", set()
         if isinstance(expression, ClockOf):
             name = expression.name
-            return _presence_var(name), f"C_{name}", {("p", name)}
+            return _presence_var(name), f"C_{name}", _presence_var(name), {("p", name)}
         if isinstance(expression, (ClockTrue, ClockFalse)):
             name = expression.name
             deps = {("p", name), ("v", name)}
@@ -189,22 +275,39 @@ class _Generator:
                 return (
                     f"({_presence_var(name)} and {_value_var(name)})",
                     f"(C_{name} && {name})",
+                    f"({_presence_var(name)} & {_value_var(name)})",
                     deps,
                 )
             return (
                 f"({_presence_var(name)} and not {_value_var(name)})",
                 f"(C_{name} && !{name})",
+                f"({_presence_var(name)} & ~{_value_var(name)})",
                 deps,
             )
         if isinstance(expression, ClockBinary):
-            left_py, left_c, left_deps = self._clock_expr(expression.left)
-            right_py, right_c, right_deps = self._clock_expr(expression.right)
+            left_py, left_c, left_np, left_deps = self._clock_expr(expression.left)
+            right_py, right_c, right_np, right_deps = self._clock_expr(expression.right)
             deps = left_deps | right_deps
             if expression.operator == "and":
-                return f"({left_py} and {right_py})", f"({left_c} && {right_c})", deps
+                return (
+                    f"({left_py} and {right_py})",
+                    f"({left_c} && {right_c})",
+                    f"({left_np} & {right_np})",
+                    deps,
+                )
             if expression.operator == "or":
-                return f"({left_py} or {right_py})", f"({left_c} || {right_c})", deps
-            return f"({left_py} and not {right_py})", f"({left_c} && !{right_c})", deps
+                return (
+                    f"({left_py} or {right_py})",
+                    f"({left_c} || {right_c})",
+                    f"({left_np} | {right_np})",
+                    deps,
+                )
+            return (
+                f"({left_py} and not {right_py})",
+                f"({left_c} && !{right_c})",
+                f"({left_np} & ~{right_np})",
+                deps,
+            )
         raise CodeGenerationError(f"unsupported clock expression {expression!r}")
 
     # -- presence candidates ----------------------------------------------------------
@@ -216,8 +319,10 @@ class _Generator:
                 if isinstance(own, ClockOf) and own.name == name:
                     if name in other.free_signals():
                         continue
-                    python_expr, c_expr, deps = self._clock_expr(other)
-                    candidates.append(_Candidate(python_expr, c_expr, deps, "clock relation"))
+                    python_expr, c_expr, array_expr, deps = self._clock_expr(other)
+                    candidates.append(
+                        _Candidate(python_expr, c_expr, deps, "clock relation", array_expr)
+                    )
         # 2. the defining equation
         equation = self._defined_by.get(name)
         if isinstance(equation, FunctionEquation):
@@ -226,7 +331,11 @@ class _Generator:
                 source = signal_operands[0]
                 candidates.append(
                     _Candidate(
-                        _presence_var(source), f"C_{source}", {("p", source)}, "synchronous operand"
+                        _presence_var(source),
+                        f"C_{source}",
+                        {("p", source)},
+                        "synchronous operand",
+                        _presence_var(source),
                     )
                 )
         elif isinstance(equation, DelayEquation):
@@ -236,6 +345,7 @@ class _Generator:
                     f"C_{equation.source}",
                     {("p", equation.source)},
                     "synchronous delay",
+                    _presence_var(equation.source),
                 )
             )
         elif isinstance(equation, SamplingEquation):
@@ -243,11 +353,13 @@ class _Generator:
             deps = {("p", condition), ("v", condition)}
             python_expr = f"({_presence_var(condition)} and {_value_var(condition)})"
             c_expr = f"(C_{condition} && {condition})"
+            array_expr = f"({_presence_var(condition)} & {_value_var(condition)})"
             if isinstance(equation.source, str):
                 deps.add(("p", equation.source))
                 python_expr = f"({_presence_var(equation.source)} and {python_expr})"
                 c_expr = f"(C_{equation.source} && {c_expr})"
-            candidates.append(_Candidate(python_expr, c_expr, deps, "sampling"))
+                array_expr = f"({_presence_var(equation.source)} & {array_expr})"
+            candidates.append(_Candidate(python_expr, c_expr, deps, "sampling", array_expr))
         elif isinstance(equation, MergeEquation):
             deps = {("p", equation.preferred), ("p", equation.alternative)}
             candidates.append(
@@ -256,6 +368,7 @@ class _Generator:
                     f"(C_{equation.preferred} || C_{equation.alternative})",
                     deps,
                     "merge",
+                    f"({_presence_var(equation.preferred)} | {_presence_var(equation.alternative)})",
                 )
             )
         # 3. root activation
@@ -263,10 +376,16 @@ class _Generator:
             if self.master_clocks and len(self.master_clock_inputs) > 0:
                 master = f"C_{self._root_of_signal[name]}"
                 candidates.append(
-                    _Candidate(f"bool({_value_var(master)})", master, {("v", master)}, "master clock")
+                    _Candidate(
+                        f"bool({_value_var(master)})",
+                        master,
+                        {("v", master)},
+                        "master clock",
+                        _value_var(master),
+                    )
                 )
             else:
-                candidates.append(_Candidate("True", "TRUE", set(), "root activation"))
+                candidates.append(_Candidate("True", "TRUE", set(), "root activation", "_ones"))
         return candidates
 
     # -- value statements --------------------------------------------------------------
@@ -300,9 +419,12 @@ class _Generator:
                     f"  if (!r_{self.process.name}_{name}(&{name})) return FALSE;",
                     "}",
                 ]
-                return _Statement(("v", name), python_lines, c_lines, deps)
+                op = StepOp(kind="read", target=name)
+                return _Statement(("v", name), python_lines, c_lines, deps, op)
             return None
 
+        expr_array: Optional[str] = None
+        guard = False
         if isinstance(equation, FunctionEquation):
             rendered_py: List[str] = []
             rendered_c: List[str] = []
@@ -314,13 +436,20 @@ class _Generator:
             if equation.operator in _PYTHON_UNARY and len(rendered_py) == 1:
                 expr_py = _PYTHON_UNARY[equation.operator].format(rendered_py[0])
                 expr_c = _C_UNARY[equation.operator].format(rendered_c[0])
+                template = _ARRAY_UNARY.get(equation.operator)
             elif equation.operator in _PYTHON_OPERATORS and len(rendered_py) == 2:
                 expr_py = _PYTHON_OPERATORS[equation.operator].format(*rendered_py)
                 expr_c = _C_OPERATORS[equation.operator].format(*rendered_c)
+                template = _ARRAY_OPERATORS.get(equation.operator)
             else:
                 raise CodeGenerationError(
                     f"unsupported operator {equation.operator!r} in equation for {name!r}"
                 )
+            if template is not None:
+                # the python operand rendering (v_<x> / repr(const)) is also
+                # valid elementwise, so the array expression reuses it
+                expr_array = template.format(*rendered_py)
+                guard = equation.operator in ("+", "-")
         elif isinstance(equation, DelayEquation):
             expr_py = f"state[{name!r}]"
             expr_c = name
@@ -328,12 +457,17 @@ class _Generator:
             expr_py, source_deps = self._operand_python(equation.source)
             expr_c = self._operand_c(equation.source)
             deps |= source_deps
+            expr_array = expr_py
         elif isinstance(equation, MergeEquation):
             expr_py = (
                 f"({_value_var(equation.preferred)} if {_presence_var(equation.preferred)} "
                 f"else {_value_var(equation.alternative)})"
             )
             expr_c = f"(C_{equation.preferred} ? {equation.preferred} : {equation.alternative})"
+            expr_array = (
+                f"_where({_presence_var(equation.preferred)}, "
+                f"{_value_var(equation.preferred)}, {_value_var(equation.alternative)})"
+            )
             deps |= {
                 ("p", equation.preferred),
                 ("v", equation.preferred),
@@ -345,9 +479,17 @@ class _Generator:
         python_lines = [f"if {presence}:", f"    {value} = {expr_py}"]
         if isinstance(equation, DelayEquation):
             c_lines: List[str] = []
+            op = StepOp(kind="delay", target=name, register=name)
         else:
             c_lines = [f"if (C_{name}) {name} = {expr_c};"]
-        return _Statement(("v", name), python_lines, c_lines, deps)
+            op = StepOp(
+                kind="compute",
+                target=name,
+                py_expr=expr_py,
+                array_expr=expr_array,
+                guard=guard,
+            )
+        return _Statement(("v", name), python_lines, c_lines, deps, op)
 
     # Merge value dependencies are conditional: when the preferred operand is
     # absent its value is not read, so the hard dependency is only on its
@@ -376,6 +518,7 @@ class _Generator:
                 ],
                 [f"if (!r_{self.process.name}_{master}(&{master})) return FALSE;"],
                 set(),
+                StepOp(kind="master_read", target=master),
             )
 
         for name in signals:
@@ -401,6 +544,12 @@ class _Generator:
                                 [f"{_presence_var(name)} = {candidate.python_expr}"],
                                 [f"C_{name} = {candidate.c_expr};"],
                                 set(candidate.dependencies),
+                                StepOp(
+                                    kind="presence",
+                                    target=name,
+                                    py_expr=candidate.python_expr,
+                                    array_expr=candidate.array_expr,
+                                ),
                             )
                         )
                         resolved.add(slot)
@@ -465,6 +614,29 @@ class _Generator:
             c_lines.append(f"if (C_{name}) w_{self.process.name}_{name}({name});")
         return python_lines, c_lines
 
+    def step_ops(self, statements: Sequence[_Statement]) -> Tuple[StepOp, ...]:
+        """The full semantic op stream in schedule order.
+
+        Mirrors the layout of the rendered sources exactly: the scheduled
+        statements, then the output writes, then the delay-register updates.
+        """
+        ops: List[StepOp] = [
+            statement.op for statement in statements if statement.op is not None
+        ]
+        for name in self.process.outputs:
+            ops.append(StepOp(kind="write", target=name))
+        for equation in self.process.equations:
+            if isinstance(equation, DelayEquation):
+                ops.append(
+                    StepOp(
+                        kind="update",
+                        target=equation.target,
+                        register=equation.target,
+                        source=equation.source,
+                    )
+                )
+        return tuple(ops)
+
 
 @dataclass
 class CompiledProcess:
@@ -477,6 +649,7 @@ class CompiledProcess:
     master_clock_inputs: List[str] = field(default_factory=list)
     _step_function: object = None
     state: Dict[str, object] = field(default_factory=dict)
+    program: Optional[StepProgram] = None
 
     def __post_init__(self) -> None:
         self.reset()
@@ -549,6 +722,12 @@ def compile_process(
 
     namespace: Dict[str, object] = {"EndOfStream": EndOfStream}
     exec(compile(python_source, f"<generated {function_name}>", "exec"), namespace)
+    program = StepProgram(
+        process=analysis.process,
+        ops=generator.step_ops(statements),
+        initial_state=dict(initial_state),
+        master_clock_inputs=tuple(generator.master_clock_inputs),
+    )
     compiled = CompiledProcess(
         process=analysis.process,
         python_source=python_source,
@@ -556,5 +735,33 @@ def compile_process(
         initial_state=initial_state,
         master_clock_inputs=list(generator.master_clock_inputs),
         _step_function=namespace[function_name],
+        program=program,
     )
     return compiled
+
+
+def build_step_program(
+    process: Union[NormalizedProcess, ProcessAnalysis],
+    master_clocks: bool = False,
+    check_compilable: bool = True,
+) -> StepProgram:
+    """The scheduled :class:`StepProgram` of a process, without rendering text.
+
+    This is the semantic artefact behind :func:`compile_process`; the
+    specialized and batch runtimes compile it directly.
+    """
+    analysis = process if isinstance(process, ProcessAnalysis) else ProcessAnalysis(process)
+    if check_compilable and not analysis.is_compilable():
+        raise CodeGenerationError(
+            f"process {analysis.process.name!r} is not compilable "
+            f"(well_clocked={analysis.is_well_clocked()}, acyclic={analysis.is_acyclic()})"
+        )
+    generator = _Generator(analysis, master_clocks)
+    statements = generator.build_statements()
+    _update_py, _update_c, initial_state = generator.state_updates()
+    return StepProgram(
+        process=analysis.process,
+        ops=generator.step_ops(statements),
+        initial_state=initial_state,
+        master_clock_inputs=tuple(generator.master_clock_inputs),
+    )
